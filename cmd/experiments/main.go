@@ -1,0 +1,48 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (as text tables; see DESIGN.md §5 for the index).
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp fig7a -scale small
+//	experiments -all -scale tiny
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (fig7a..fig8l, table4, table5)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment ids")
+		scale = flag.String("scale", "tiny", "scale: tiny | small | mid")
+	)
+	flag.Parse()
+	switch {
+	case *list:
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+	case *all:
+		if err := experiments.RunAll(experiments.Scale(*scale), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	case *exp != "":
+		t, err := experiments.Run(*exp, experiments.Scale(*scale))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		t.Render(os.Stdout)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,65 @@
+// Quickstart: build a tiny dataset by hand, mine it with k/2-hop, and read
+// the result. Three cars commute together for twelve ticks; two pedestrians
+// meet for four ticks; a drifter wanders alone.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	convoy "repro"
+)
+
+func main() {
+	var points []convoy.Point
+	for t := int32(0); t < 20; t++ {
+		// Cars 1..3 drive in a tight line between ticks 4 and 15.
+		for oid := int32(1); oid <= 3; oid++ {
+			x := float64(t) * 10 // travelling east
+			if t < 4 || t > 15 {
+				x += float64(oid) * 500 // scattered before/after the trip
+			}
+			points = append(points, convoy.Point{
+				OID: oid, T: t, X: x, Y: float64(oid) * 2,
+			})
+		}
+		// Pedestrians 10 and 11 cross paths briefly (ticks 8..11).
+		for oid := int32(10); oid <= 11; oid++ {
+			x := 1000.0
+			if t < 8 || t > 11 {
+				x += float64(oid) * 300
+			}
+			points = append(points, convoy.Point{OID: oid, T: t, X: x, Y: 50})
+		}
+		// Object 99 never travels with anyone.
+		points = append(points, convoy.Point{OID: 99, T: t, X: float64(t) * 37, Y: 900})
+	}
+
+	ds := convoy.NewDataset(points)
+
+	// A convoy = at least M objects within Eps of each other (transitively)
+	// for at least K consecutive ticks.
+	res, err := convoy.Mine(convoy.NewMemStore(ds), convoy.Params{M: 2, K: 10, Eps: 8}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("k/2-hop found %d convoy(s) in %s, touching %d of %d points\n",
+		len(res.Convoys), res.Duration, res.PointsProcessed, ds.NumPoints())
+	for _, c := range res.Convoys {
+		fmt.Printf("  objects %v travelled together from t=%d to t=%d (%d ticks)\n",
+			c.Objs, c.Start, c.End, c.Len())
+	}
+	// The cars form a convoy; the pedestrians' 4-tick meeting is below K;
+	// the drifter never joins anything.
+
+	// Lowering K to 4 picks up the pedestrians too.
+	res, err = convoy.Mine(convoy.NewMemStore(ds), convoy.Params{M: 2, K: 4, Eps: 8}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with K=4: %d convoys\n", len(res.Convoys))
+	for _, c := range res.Convoys {
+		fmt.Printf("  %v over [%d,%d]\n", c.Objs, c.Start, c.End)
+	}
+}

@@ -1,0 +1,167 @@
+// Package bitset provides fixed-capacity bitsets over timestamp indices with
+// the run-length queries that the SPARE baseline's apriori enumerator needs:
+// intersection of co-clustering sequences and longest-consecutive-run
+// pruning (a group of objects can only form a convoy of length ≥ k if the
+// AND of its pairwise co-clustering sequences has a run of ≥ k set bits).
+package bitset
+
+import "math/bits"
+
+// Bits is a fixed-capacity bitset. Bit i corresponds to the i-th timestamp
+// of the dataset. The capacity is set at creation and shared by all bitsets
+// an algorithm combines.
+type Bits struct {
+	n     int
+	words []uint64
+}
+
+// New returns a bitset with capacity for n bits, all clear.
+func New(n int) *Bits {
+	if n < 0 {
+		n = 0
+	}
+	return &Bits{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the bitset's capacity in bits.
+func (b *Bits) Len() int { return b.n }
+
+// Set sets bit i. Out-of-range indices are ignored.
+func (b *Bits) Set(i int) {
+	if i < 0 || i >= b.n {
+		return
+	}
+	b.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Clear clears bit i. Out-of-range indices are ignored.
+func (b *Bits) Clear(i int) {
+	if i < 0 || i >= b.n {
+		return
+	}
+	b.words[i>>6] &^= 1 << uint(i&63)
+}
+
+// Get reports whether bit i is set.
+func (b *Bits) Get(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bits) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += popcount(w)
+	}
+	return n
+}
+
+// Clone returns an independent copy of b.
+func (b *Bits) Clone() *Bits {
+	out := &Bits{n: b.n, words: make([]uint64, len(b.words))}
+	copy(out.words, b.words)
+	return out
+}
+
+// And sets b to b ∩ o in place and returns b. Both bitsets must have the
+// same capacity.
+func (b *Bits) And(o *Bits) *Bits {
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+	return b
+}
+
+// AndNew returns a new bitset holding b ∩ o.
+func (b *Bits) AndNew(o *Bits) *Bits { return b.Clone().And(o) }
+
+// Equal reports whether b and o have the same capacity and the same bits.
+func (b *Bits) Equal(o *Bits) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxRun returns the length of the longest run of consecutive set bits.
+func (b *Bits) MaxRun() int {
+	best, cur := 0, 0
+	for i := 0; i < len(b.words); i++ {
+		w := b.words[i]
+		switch w {
+		case 0:
+			if cur > best {
+				best = cur
+			}
+			cur = 0
+		case ^uint64(0):
+			cur += 64
+		default:
+			for bit := 0; bit < 64; bit++ {
+				if w&(1<<uint(bit)) != 0 {
+					cur++
+					if cur > best {
+						best = cur
+					}
+				} else {
+					cur = 0
+				}
+			}
+		}
+	}
+	if cur > best {
+		best = cur
+	}
+	// Trim runs that spill past n (only possible when n%64 != 0 and the
+	// caller never set those bits — Set guards them, so no trim needed).
+	return best
+}
+
+// Runs returns every maximal run of consecutive set bits with length ≥
+// minLen, as [start, end] inclusive index pairs in ascending order.
+func (b *Bits) Runs(minLen int) [][2]int {
+	if minLen < 1 {
+		minLen = 1
+	}
+	var out [][2]int
+	start := -1
+	for i := 0; i < b.n; i++ {
+		if b.Get(i) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 && i-start >= minLen {
+			out = append(out, [2]int{start, i - 1})
+		}
+		start = -1
+	}
+	if start >= 0 && b.n-start >= minLen {
+		out = append(out, [2]int{start, b.n - 1})
+	}
+	return out
+}
+
+// SetRange sets every bit in [from, to] inclusive, clamped to capacity.
+func (b *Bits) SetRange(from, to int) {
+	if from < 0 {
+		from = 0
+	}
+	if to >= b.n {
+		to = b.n - 1
+	}
+	for i := from; i <= to; i++ {
+		b.Set(i)
+	}
+}
+
+func popcount(w uint64) int { return bits.OnesCount64(w) }

@@ -1,0 +1,191 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naive is a bool-slice model used to verify the bitset implementation.
+type naive []bool
+
+func (n naive) maxRun() int {
+	best, cur := 0, 0
+	for _, b := range n {
+		if b {
+			cur++
+			if cur > best {
+				best = cur
+			}
+		} else {
+			cur = 0
+		}
+	}
+	return best
+}
+
+func (n naive) runs(minLen int) [][2]int {
+	if minLen < 1 {
+		minLen = 1
+	}
+	var out [][2]int
+	start := -1
+	for i, b := range n {
+		if b {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 && i-start >= minLen {
+			out = append(out, [2]int{start, i - 1})
+		}
+		start = -1
+	}
+	if start >= 0 && len(n)-start >= minLen {
+		out = append(out, [2]int{start, len(n) - 1})
+	}
+	return out
+}
+
+func TestBasicSetGetClear(t *testing.T) {
+	b := New(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("Get(%d) after Set = false", i)
+		}
+	}
+	if b.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", b.Count())
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Fatalf("Get(64) after Clear = true")
+	}
+	// Out-of-range is ignored, not panicking.
+	b.Set(-1)
+	b.Set(130)
+	b.Clear(-1)
+	if b.Get(-1) || b.Get(130) {
+		t.Fatalf("out-of-range Get should be false")
+	}
+}
+
+func TestAndEqualClone(t *testing.T) {
+	a, b := New(100), New(100)
+	a.SetRange(10, 50)
+	b.SetRange(40, 90)
+	c := a.AndNew(b)
+	for i := 0; i < 100; i++ {
+		want := i >= 40 && i <= 50
+		if c.Get(i) != want {
+			t.Fatalf("AndNew bit %d = %v, want %v", i, c.Get(i), want)
+		}
+	}
+	if !c.Equal(c.Clone()) {
+		t.Fatalf("clone should be equal")
+	}
+	if c.Equal(New(101)) {
+		t.Fatalf("different capacity should not be equal")
+	}
+	// And mutates in place.
+	a.And(b)
+	if !a.Equal(c) {
+		t.Fatalf("And in place disagrees with AndNew")
+	}
+}
+
+func TestMaxRunEdges(t *testing.T) {
+	b := New(0)
+	if b.MaxRun() != 0 {
+		t.Fatalf("empty MaxRun = %d", b.MaxRun())
+	}
+	b = New(200)
+	if b.MaxRun() != 0 {
+		t.Fatalf("clear MaxRun = %d", b.MaxRun())
+	}
+	b.SetRange(0, 199)
+	if b.MaxRun() != 200 {
+		t.Fatalf("full MaxRun = %d", b.MaxRun())
+	}
+	b = New(200)
+	b.SetRange(60, 70) // crosses word boundary
+	if b.MaxRun() != 11 {
+		t.Fatalf("cross-word MaxRun = %d, want 11", b.MaxRun())
+	}
+	b.Set(72)
+	if b.MaxRun() != 11 {
+		t.Fatalf("MaxRun after isolated bit = %d", b.MaxRun())
+	}
+}
+
+func TestRunsMatchesNaiveQuick(t *testing.T) {
+	f := func(seed int64, nRaw uint8, minLenRaw uint8) bool {
+		n := int(nRaw)%150 + 1
+		minLen := int(minLenRaw)%5 + 1
+		rng := rand.New(rand.NewSource(seed))
+		b := New(n)
+		m := make(naive, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+				m[i] = true
+			}
+		}
+		if b.MaxRun() != m.maxRun() {
+			return false
+		}
+		got, want := b.Runs(minLen), m.runs(minLen)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		cnt := 0
+		for _, v := range m {
+			if v {
+				cnt++
+			}
+		}
+		return cnt == b.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunsMinLen(t *testing.T) {
+	b := New(20)
+	b.SetRange(0, 2)  // len 3
+	b.SetRange(5, 5)  // len 1
+	b.SetRange(8, 13) // len 6
+	runs := b.Runs(3)
+	if len(runs) != 2 || runs[0] != [2]int{0, 2} || runs[1] != [2]int{8, 13} {
+		t.Fatalf("Runs(3) = %v", runs)
+	}
+	if got := b.Runs(0); len(got) != 3 {
+		t.Fatalf("Runs(0) should clamp to 1: %v", got)
+	}
+}
+
+func TestSetRangeClamps(t *testing.T) {
+	b := New(10)
+	b.SetRange(-5, 100)
+	if b.Count() != 10 {
+		t.Fatalf("SetRange should clamp, Count = %d", b.Count())
+	}
+}
+
+func TestNewNegative(t *testing.T) {
+	b := New(-3)
+	if b.Len() != 0 || b.Count() != 0 {
+		t.Fatalf("New(-3) should be empty")
+	}
+}

@@ -1,0 +1,177 @@
+// Package cmc implements the snapshot-sweep convoy miner that underlies the
+// sequential baselines: CMC (Jeung et al., PVLDB'08) in the corrected form
+// PCCD (Partially Connected Convoy Discovery, Yoon & Shahabi, ICDMW'09).
+//
+// The miner sweeps timestamps in order, clustering every snapshot and
+// intersecting each alive candidate convoy with the clusters of the current
+// timestamp. A candidate that cannot continue intact is emitted when it is
+// long enough. Candidate sets are kept maximal by domination pruning: a
+// candidate (O₁, s₁) is dropped when another candidate (O₂, s₂) with
+// O₁ ⊆ O₂ and s₂ ≤ s₁ exists, because every convoy reachable from the
+// former is a sub-convoy of one reachable from the latter.
+//
+// The output is the set of maximal partially connected convoys — objects may
+// be density-connected through objects outside the convoy. Full-connectivity
+// validation (package vcoda) turns these into FC convoys.
+package cmc
+
+import (
+	"fmt"
+
+	"repro/internal/dbscan"
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+// Miner is an incremental PCCD miner fed one clustered snapshot at a time.
+// It is the building block shared by the sequential baseline, the DCM
+// partition workers, and the validation re-miners.
+type Miner struct {
+	m    int
+	keep func(model.Convoy) bool
+	// alive candidates; invariant: no candidate dominates another.
+	alive   []candidate
+	results *model.ConvoySet
+	lastT   int32
+	started bool
+}
+
+type candidate struct {
+	objs  model.ObjSet
+	start int32
+}
+
+// NewMiner creates a miner for (m,eps)-convoys of length ≥ k. Clustering
+// happens outside (callers pass cluster sets to Step), so eps is implicit.
+func NewMiner(m, k int) *Miner {
+	return &Miner{
+		m:       m,
+		keep:    func(c model.Convoy) bool { return c.Len() >= k },
+		results: model.NewConvoySet(),
+	}
+}
+
+// NewMinerKeep creates a miner with a custom output filter, used by DCM
+// partitions that must also keep short convoys touching partition borders.
+func NewMinerKeep(m int, keep func(model.Convoy) bool) *Miner {
+	return &Miner{m: m, keep: keep, results: model.NewConvoySet()}
+}
+
+// Step feeds the cluster set of timestamp t. Timestamps must be fed in
+// strictly increasing, contiguous order; a gap kills all candidates (an
+// object cannot be "together" at a missing tick).
+func (mn *Miner) Step(t int32, clusters []model.ObjSet) {
+	if mn.started && t != mn.lastT+1 {
+		// Discontinuity: candidates cannot span the gap.
+		mn.flushAll(mn.lastT)
+		mn.alive = nil
+	}
+	mn.started = true
+
+	var next []candidate
+	// Extend alive candidates through the clusters of t.
+	for _, v := range mn.alive {
+		survived := false
+		for _, c := range clusters {
+			inter := v.objs.Intersect(c)
+			if len(inter) < mn.m {
+				continue
+			}
+			if len(inter) == len(v.objs) {
+				survived = true
+			}
+			next = append(next, candidate{objs: inter, start: v.start})
+		}
+		if !survived {
+			mn.emit(model.Convoy{Objs: v.objs, Start: v.start, End: mn.lastT})
+		}
+	}
+	// Every current cluster starts a fresh candidate (it may be dominated).
+	for _, c := range clusters {
+		next = append(next, candidate{objs: c, start: t})
+	}
+	mn.alive = dominate(next)
+	mn.lastT = t
+}
+
+// dominate removes duplicates and dominated candidates.
+func dominate(cands []candidate) []candidate {
+	var out []candidate
+	for _, c := range cands {
+		dominated := false
+		for j := 0; j < len(out); j++ {
+			switch {
+			case out[j].start <= c.start && c.objs.SubsetOf(out[j].objs):
+				dominated = true
+			case c.start <= out[j].start && out[j].objs.SubsetOf(c.objs):
+				// c dominates an existing candidate: drop it.
+				out[j] = out[len(out)-1]
+				out = out[:len(out)-1]
+				j--
+			}
+			if dominated {
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (mn *Miner) emit(c model.Convoy) {
+	if mn.keep(c) {
+		mn.results.Update(c)
+	}
+}
+
+func (mn *Miner) flushAll(endT int32) {
+	for _, v := range mn.alive {
+		mn.emit(model.Convoy{Objs: v.objs, Start: v.start, End: endT})
+	}
+}
+
+// Finish flushes candidates still alive at the final timestamp and returns
+// all mined maximal convoys in canonical order.
+func (mn *Miner) Finish() []model.Convoy {
+	mn.flushAll(mn.lastT)
+	mn.alive = nil
+	return mn.results.Sorted()
+}
+
+// Results returns the convoys closed so far without flushing alive
+// candidates — the streaming API's peek.
+func (mn *Miner) Results() []model.Convoy { return mn.results.Sorted() }
+
+// Mine runs PCCD over every snapshot of the store: the paper's sequential
+// baseline access pattern (cluster all the data at every timestamp).
+func Mine(store storage.Store, m, k int, eps float64) ([]model.Convoy, error) {
+	ts, te := store.TimeRange()
+	mn := NewMiner(m, k)
+	for t := ts; t <= te; t++ {
+		snap, err := store.Snapshot(t)
+		if err != nil {
+			return nil, fmt.Errorf("cmc: snapshot %d: %w", t, err)
+		}
+		mn.Step(t, dbscan.Cluster(snap, eps, m))
+	}
+	return mn.Finish(), nil
+}
+
+// MineDataset runs PCCD over an in-memory dataset restricted to an interval.
+// Used by validation, which re-mines restricted datasets.
+func MineDataset(ds *model.Dataset, iv model.Interval, m, k int, eps float64) []model.Convoy {
+	ts, te := ds.TimeRange()
+	if iv.Start > ts {
+		ts = iv.Start
+	}
+	if iv.End < te {
+		te = iv.End
+	}
+	mn := NewMiner(m, k)
+	for t := ts; t <= te; t++ {
+		mn.Step(t, dbscan.Cluster(ds.Snapshot(t), eps, m))
+	}
+	return mn.Finish()
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/minetest"
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+// coincidentalDataset builds the workload the paper's §4.3 describes: many
+// pairs are together at and around the benchmark points (adjacent
+// timestamps) but drift apart towards the middle of each hop-window. The
+// bisection order probes the window middle first and kills such candidates
+// after one re-clustering; the left-to-right order wades through the
+// together-looking prefix first. The phase below matches k=16 (hop 8):
+// separation happens at ticks ≡ 3..5 (mod 8).
+func coincidentalDataset(seed int64, nObj, nTicks int) *model.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	groups := map[int32][][]int32{}
+	for t := 0; t < nTicks; t++ {
+		var gs [][]int32
+		// One persistent convoy.
+		gs = append(gs, []int32{1, 2, 3})
+		// Coincidental pairs: together near window borders, apart in the
+		// middle of the window.
+		phase := t % 8
+		midWindow := phase >= 3 && phase <= 5
+		for o := int32(10); o < int32(10+nObj); o += 2 {
+			if !midWindow && rng.Float64() < 0.95 {
+				gs = append(gs, []int32{o, o + 1})
+			} else {
+				gs = append(gs, []int32{o}, []int32{o + 1})
+			}
+		}
+		groups[int32(t)] = gs
+	}
+	return minetest.Build(groups)
+}
+
+// The two HWMT orders must produce identical results.
+func TestLinearHWMTSameResults(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		ds := minetest.Random(seed, 12, 24)
+		for _, k := range []int{4, 8, 12} {
+			cfgB := DefaultConfig(3, k, minetest.Eps)
+			cfgL := cfgB
+			cfgL.LinearHWMT = true
+			got, _, err := Mine(storage.NewMemStore(ds), cfgL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := Mine(storage.NewMemStore(ds), cfgB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !model.ConvoysEqual(got, want) {
+				t.Fatalf("seed %d k=%d: linear %v != bisect %v", seed, k, got, want)
+			}
+		}
+	}
+}
+
+// The bisection order must abort dead hop-windows with no more point reads
+// than the linear order on coincidental-togetherness data.
+func TestBisectionPrunesEarlier(t *testing.T) {
+	ds := coincidentalDataset(3, 30, 60)
+	run := func(linear bool) int64 {
+		ms := storage.NewMemStore(ds)
+		cfg := DefaultConfig(2, 16, minetest.Eps)
+		cfg.LinearHWMT = linear
+		if _, _, err := Mine(ms, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return ms.Stats().Snapshot().PointsRead
+	}
+	bisect := run(false)
+	linear := run(true)
+	if bisect > linear {
+		t.Fatalf("bisection read more than linear: %d > %d", bisect, linear)
+	}
+}
+
+func BenchmarkHWMTBisect(b *testing.B) {
+	ds := coincidentalDataset(3, 60, 120)
+	cfg := DefaultConfig(2, 16, minetest.Eps)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Mine(storage.NewMemStore(ds), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHWMTLinear(b *testing.B) {
+	ds := coincidentalDataset(3, 60, 120)
+	cfg := DefaultConfig(2, 16, minetest.Eps)
+	cfg.LinearHWMT = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Mine(storage.NewMemStore(ds), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReExtendOn(b *testing.B) {
+	ds := minetest.Random(5, 25, 60)
+	cfg := DefaultConfig(3, 10, minetest.Eps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Mine(storage.NewMemStore(ds), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReExtendOff(b *testing.B) {
+	ds := minetest.Random(5, 25, 60)
+	cfg := DefaultConfig(3, 10, minetest.Eps)
+	cfg.ReExtend = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Mine(storage.NewMemStore(ds), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

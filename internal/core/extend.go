@@ -1,0 +1,145 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/model"
+)
+
+// extendAll grows the maximal spanning convoys to their true starts and
+// ends (paper §4.5, Algorithm 3): first to the right, then to the left.
+// When cfg.ReExtend is set, the two passes repeat until a fixpoint, because
+// an object set that shrank while extending left may be further extensible
+// to the right (and vice versa) — see DESIGN.md §3.
+func (mi *miner) extendAll(merged []model.Convoy, rep *Report) ([]model.Convoy, error) {
+	cur := merged
+	var prevKeys string
+	for iter := 0; ; iter++ {
+		start := time.Now()
+		right, err := mi.extend(cur, +1)
+		if err != nil {
+			return nil, err
+		}
+		rep.ExtendRight += time.Since(start)
+
+		start = time.Now()
+		both, err := mi.extend(right, -1)
+		if err != nil {
+			return nil, err
+		}
+		rep.ExtendLeft += time.Since(start)
+		cur = both
+
+		if !mi.cfg.ReExtend || iter+1 >= mi.cfg.MaxReExtend {
+			return cur, nil
+		}
+		keys := convoyKeys(cur)
+		if keys == prevKeys {
+			return cur, nil
+		}
+		prevKeys = keys
+	}
+}
+
+// extend grows every convoy one timestamp at a time in the given direction
+// (+1 = right, -1 = left), re-clustering the convoy's objects at each next
+// timestamp. A convoy that cannot continue intact is emitted as closed in
+// that direction; clusters that survive (possibly smaller) continue.
+func (mi *miner) extend(convoys []model.Convoy, dir int32) ([]model.Convoy, error) {
+	out := model.NewConvoySet()
+	for _, vsp := range convoys {
+		prev := []model.Convoy{vsp}
+		t := edge(vsp, dir) + dir
+		for len(prev) > 0 && t >= mi.ts && t <= mi.te {
+			var next []model.Convoy
+			for _, v := range prev {
+				clusters, err := mi.recluster(t, v.Objs)
+				if err != nil {
+					return nil, err
+				}
+				if len(clusters) == 0 {
+					out.Update(v) // closed in this direction
+					continue
+				}
+				survived := false
+				for _, c := range clusters {
+					w := v
+					w.Objs = c
+					if dir > 0 {
+						w.End = t
+					} else {
+						w.Start = t
+					}
+					next = append(next, w)
+					if len(c) == len(v.Objs) {
+						survived = true
+					}
+				}
+				if !survived {
+					// v split or shrank: in its current shape it is closed.
+					out.Update(v)
+				}
+			}
+			prev = extendDominate(next, dir)
+			t += dir
+		}
+		// Hit the dataset boundary: whatever is still alive is closed.
+		for _, v := range prev {
+			out.Update(v)
+		}
+	}
+	return out.Sorted(), nil
+}
+
+func edge(v model.Convoy, dir int32) int32 {
+	if dir > 0 {
+		return v.End
+	}
+	return v.Start
+}
+
+// extendDominate prunes, among in-flight extension candidates that share
+// the moving edge, those whose object set is a subset of another candidate
+// with an equal-or-wider fixed edge.
+func extendDominate(cands []model.Convoy, dir int32) []model.Convoy {
+	fixedLE := func(a, b model.Convoy) bool { // fixed edge of a at least as wide as b's
+		if dir > 0 {
+			return a.Start <= b.Start
+		}
+		return a.End >= b.End
+	}
+	var out []model.Convoy
+	for _, c := range cands {
+		dominated := false
+		for j := 0; j < len(out); j++ {
+			switch {
+			case fixedLE(out[j], c) && c.Objs.SubsetOf(out[j].Objs):
+				dominated = true
+			case fixedLE(c, out[j]) && out[j].Objs.SubsetOf(c.Objs):
+				out[j] = out[len(out)-1]
+				out = out[:len(out)-1]
+				j--
+			}
+			if dominated {
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// convoyKeys builds a canonical fingerprint of a convoy slice for fixpoint
+// detection.
+func convoyKeys(cs []model.Convoy) string {
+	sorted := make([]model.Convoy, len(cs))
+	copy(sorted, cs)
+	model.SortConvoys(sorted)
+	key := ""
+	for _, c := range sorted {
+		key += c.Key() + ";"
+	}
+	return key
+}

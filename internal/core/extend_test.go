@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/minetest"
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+func newTestMiner(ds *model.Dataset, m, k int) *miner {
+	ts, te := ds.TimeRange()
+	cfg := DefaultConfig(m, k, minetest.Eps)
+	return &miner{
+		store:   storage.NewMemStore(ds),
+		cfg:     cfg,
+		ts:      ts,
+		te:      te,
+		grouper: ConvoyGrouper(m, minetest.Eps),
+	}
+}
+
+func TestExtendRightGrowsToTrueEnd(t *testing.T) {
+	ds := minetest.BuildRanges([]minetest.Range{
+		{Start: 0, End: 13, Groups: [][]int32{{1, 2, 3}}},
+		{Start: 14, End: 19, Groups: [][]int32{{1}, {2}, {3}}},
+	})
+	mi := newTestMiner(ds, 3, 8)
+	// Spanning skeleton [4, 8]; the true convoy runs to 13.
+	in := []model.Convoy{model.NewConvoy(model.NewObjSet(1, 2, 3), 4, 8)}
+	out, err := mi.extend(in, +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []model.Convoy{model.NewConvoy(model.NewObjSet(1, 2, 3), 4, 13)}
+	if !model.ConvoysEqual(out, want) {
+		t.Fatalf("extend right = %v, want %v", out, want)
+	}
+}
+
+func TestExtendLeftGrowsToTrueStart(t *testing.T) {
+	ds := minetest.BuildRanges([]minetest.Range{
+		{Start: 0, End: 2, Groups: [][]int32{{1}, {2}, {3}}},
+		{Start: 3, End: 19, Groups: [][]int32{{1, 2, 3}}},
+	})
+	mi := newTestMiner(ds, 3, 8)
+	in := []model.Convoy{model.NewConvoy(model.NewObjSet(1, 2, 3), 8, 19)}
+	out, err := mi.extend(in, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []model.Convoy{model.NewConvoy(model.NewObjSet(1, 2, 3), 3, 19)}
+	if !model.ConvoysEqual(out, want) {
+		t.Fatalf("extend left = %v, want %v", out, want)
+	}
+}
+
+func TestExtendSplitsIntoSubgroups(t *testing.T) {
+	// abcd spanning [4,8]; beyond 8 only ab continue together (cd split off
+	// far away but also together).
+	groups := map[int32][][]int32{}
+	for tt := int32(0); tt <= 8; tt++ {
+		groups[tt] = [][]int32{{1, 2, 3, 4}}
+	}
+	for tt := int32(9); tt <= 15; tt++ {
+		groups[tt] = [][]int32{{1, 2}, {3, 4}}
+	}
+	ds := minetest.Build(groups)
+	mi := newTestMiner(ds, 2, 4)
+	in := []model.Convoy{model.NewConvoy(model.NewObjSet(1, 2, 3, 4), 4, 8)}
+	out, err := mi.extend(in, +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []model.Convoy{
+		model.NewConvoy(model.NewObjSet(1, 2, 3, 4), 4, 8),
+		model.NewConvoy(model.NewObjSet(1, 2), 4, 15),
+		model.NewConvoy(model.NewObjSet(3, 4), 4, 15),
+	}
+	if !model.ConvoysEqual(out, want) {
+		t.Fatalf("extend split = %v, want %v", out, want)
+	}
+}
+
+func TestExtendStopsAtDatasetBoundary(t *testing.T) {
+	ds := minetest.BuildRanges([]minetest.Range{
+		{Start: 0, End: 9, Groups: [][]int32{{1, 2, 3}}},
+	})
+	mi := newTestMiner(ds, 3, 4)
+	in := []model.Convoy{model.NewConvoy(model.NewObjSet(1, 2, 3), 4, 8)}
+	out, err := mi.extend(in, +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].End != 9 {
+		t.Fatalf("extend to boundary = %v", out)
+	}
+}
+
+func TestExtendDominatePrunesInFlight(t *testing.T) {
+	a := model.NewConvoy(model.NewObjSet(1, 2, 3), 0, 10)
+	sub := model.NewConvoy(model.NewObjSet(1, 2), 2, 10) // same moving edge (right)
+	out := extendDominate([]model.Convoy{sub, a}, +1)
+	if len(out) != 1 || !out[0].Equal(a) {
+		t.Fatalf("dominate = %v", out)
+	}
+	// Left direction: fixed edge is End.
+	b := model.NewConvoy(model.NewObjSet(1, 2, 3), 5, 12)
+	subL := model.NewConvoy(model.NewObjSet(2, 3), 5, 10)
+	out = extendDominate([]model.Convoy{b, subL}, -1)
+	if len(out) != 1 || !out[0].Equal(b) {
+		t.Fatalf("dominate left = %v", out)
+	}
+	// Non-dominated pair survives.
+	c := model.NewConvoy(model.NewObjSet(4, 5), 0, 10)
+	out = extendDominate([]model.Convoy{a, c}, +1)
+	if len(out) != 2 {
+		t.Fatalf("unrelated pruned: %v", out)
+	}
+}
+
+func TestIntersectClusterSets(t *testing.T) {
+	a := []model.ObjSet{
+		model.NewObjSet(1, 2, 3, 4),
+		model.NewObjSet(5, 6, 7, 8),
+		model.NewObjSet(9, 10, 11),
+	}
+	b := []model.ObjSet{
+		model.NewObjSet(1, 2, 3),
+		model.NewObjSet(4, 5),
+		model.NewObjSet(6, 7, 8),
+		model.NewObjSet(9, 10),
+	}
+	// The paper's §4.2 worked example with m=3.
+	got := intersectClusterSets(a, b, 3)
+	want := []model.ObjSet{model.NewObjSet(1, 2, 3), model.NewObjSet(6, 7, 8)}
+	if len(got) != 2 || !got[0].Equal(want[0]) || !got[1].Equal(want[1]) {
+		t.Fatalf("CC = %v, want %v", got, want)
+	}
+	// m=2 keeps the {9,10} intersection too; the singleton intersections
+	// {4} and {5} stay dropped (the paper's example discards them).
+	if got := intersectClusterSets(a, b, 2); len(got) != 3 {
+		t.Fatalf("CC(m=2) = %v", got)
+	}
+}

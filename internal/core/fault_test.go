@@ -1,0 +1,51 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/minetest"
+	"repro/internal/storage"
+	"repro/internal/storage/storetest"
+)
+
+// Every phase of the pipeline must propagate storage errors instead of
+// swallowing them or panicking, no matter when the store starts failing.
+func TestStorageFaultsPropagate(t *testing.T) {
+	ds := minetest.BuildRanges([]minetest.Range{
+		{Start: 0, End: 19, Groups: [][]int32{{1, 2, 3}, {7, 8, 9}}},
+	})
+	// First find out how many store operations a clean run needs.
+	clean := storetest.NewFaultStore(storage.NewMemStore(ds), 1<<40)
+	if _, _, err := Mine(clean, DefaultConfig(3, 8, minetest.Eps)); err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	total := clean.Ops()
+	if total < 10 {
+		t.Fatalf("scenario too small to exercise fault paths: %d ops", total)
+	}
+	// Fail at a sample of positions across the whole run (every phase).
+	for budget := int64(0); budget < total; budget += total/7 + 1 {
+		fs := storetest.NewFaultStore(storage.NewMemStore(ds), budget)
+		_, _, err := Mine(fs, DefaultConfig(3, 8, minetest.Eps))
+		if !errors.Is(err, storetest.ErrInjected) {
+			t.Fatalf("budget %d: error = %v, want injected fault", budget, err)
+		}
+	}
+}
+
+func TestFaultDuringValidationPhase(t *testing.T) {
+	ds := minetest.BuildRanges([]minetest.Range{
+		{Start: 0, End: 19, Groups: [][]int32{{1, 2, 3}}},
+	})
+	clean := storetest.NewFaultStore(storage.NewMemStore(ds), 1<<40)
+	if _, _, err := Mine(clean, DefaultConfig(3, 8, minetest.Eps)); err != nil {
+		t.Fatal(err)
+	}
+	// Fail on the very last operation: that lands in validation's
+	// restriction fetches.
+	fs := storetest.NewFaultStore(storage.NewMemStore(ds), clean.Ops()-1)
+	if _, _, err := Mine(fs, DefaultConfig(3, 8, minetest.Eps)); !errors.Is(err, storetest.ErrInjected) {
+		t.Fatalf("error = %v, want injected fault", err)
+	}
+}

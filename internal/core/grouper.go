@@ -1,0 +1,36 @@
+package core
+
+import (
+	"repro/internal/dbscan"
+	"repro/internal/model"
+)
+
+// Grouper abstracts the per-snapshot grouping operator that the k/2-hop
+// pruning pipeline is generic over (the paper's §7 observes the technique
+// transfers to other movement patterns — flocks swap density clustering for
+// disk covering, see internal/flock).
+//
+// Requirements for correctness of the pipeline:
+//
+//   - Benchmark(rows) returns groups such that every pattern instance alive
+//     at that timestamp has its object set contained in some group;
+//   - Restricted(rows) does the same for a snapshot restricted to a
+//     candidate's objects, and must be restriction-monotone: if a pattern's
+//     objects group together in a superset snapshot, they still group
+//     together (possibly inside a smaller group) in the restriction.
+type Grouper struct {
+	// Benchmark groups a full snapshot (used at benchmark points).
+	Benchmark func(rows []model.ObjPos) []model.ObjSet
+	// Restricted groups a snapshot already restricted to candidate objects
+	// (used by HWMT and the extension phases).
+	Restricted func(rows []model.ObjPos) []model.ObjSet
+}
+
+// ConvoyGrouper returns the paper's grouping operator: DBSCAN with minPts=m
+// and radius eps at benchmark points and on restrictions.
+func ConvoyGrouper(m int, eps float64) Grouper {
+	f := func(rows []model.ObjPos) []model.ObjSet {
+		return dbscan.Cluster(rows, eps, m)
+	}
+	return Grouper{Benchmark: f, Restricted: f}
+}

@@ -1,0 +1,238 @@
+// Package core implements the paper's contribution: the k/2-hop convoy
+// mining algorithm (§4). The pipeline is
+//
+//	benchmark clustering → candidate clusters → HWMT per hop-window →
+//	DCM-merge → extend right/left → full-connectivity validation
+//
+// Only the benchmark points (every ⌊k/2⌋-th timestamp) are clustered in
+// full; everything else touches only the objects that survived the
+// candidate-cluster intersection, which is why the algorithm prunes the
+// vast majority of the data (paper Table 5).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/dcm"
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/vcoda"
+)
+
+// Config carries the mining parameters.
+type Config struct {
+	// M is the minimum convoy size (objects), K the minimum lifetime
+	// (timestamps, ≥ 2), Eps the density-connection radius.
+	M   int
+	K   int
+	Eps float64
+	// ReExtend controls the post-extension fixpoint: when the object set of
+	// a convoy shrinks during the left extension, the shrunken convoy may be
+	// further extensible to the right; the paper's Algorithm 3 extends once
+	// in each direction, which can miss such convoys. Enabled by default via
+	// DefaultConfig (see DESIGN.md §3).
+	ReExtend bool
+	// MaxReExtend bounds the fixpoint iterations (safety valve; 0 = 4).
+	MaxReExtend int
+	// LinearHWMT processes hop-window timestamps left-to-right instead of
+	// in bisection order. Results are identical; the bisection order prunes
+	// coincidentally-together candidates after fewer re-clusterings (paper
+	// §4.3). Exists for the ablation benchmarks.
+	LinearHWMT bool
+}
+
+// DefaultConfig returns a Config with the correction flags enabled.
+func DefaultConfig(m, k int, eps float64) Config {
+	return Config{M: m, K: k, Eps: eps, ReExtend: true}
+}
+
+// Report exposes per-phase timings and pruning counters (paper Fig 8i and
+// Table 5).
+type Report struct {
+	BenchmarkTime time.Duration // benchmark-point clustering
+	CandidateTime time.Duration // cluster-set intersection
+	HWMTTime      time.Duration // hop-window mining
+	MergeTime     time.Duration // DCM merge
+	ExtendRight   time.Duration
+	ExtendLeft    time.Duration
+	ValidateTime  time.Duration
+
+	BenchmarkPoints int // number of benchmark timestamps clustered
+	HopWindows      int // windows with non-empty candidate sets
+	Spanning        int // 1st-order spanning convoys
+	Merged          int // maximal spanning convoys
+	PreValidation   int // convoys entering validation (Fig 8j)
+	Convoys         int // final FC convoys
+
+	PointsProcessed int64 // points read from the store during the run
+}
+
+// Total returns the summed phase time.
+func (r *Report) Total() time.Duration {
+	return r.BenchmarkTime + r.CandidateTime + r.HWMTTime + r.MergeTime +
+		r.ExtendRight + r.ExtendLeft + r.ValidateTime
+}
+
+// Mine runs k/2-hop against a store and returns the maximal fully connected
+// (M,Eps)-convoys with lifetime ≥ K.
+func Mine(store storage.Store, cfg Config) ([]model.Convoy, *Report, error) {
+	candidates, rep, err := MineCandidates(store, cfg, ConvoyGrouper(cfg.M, cfg.Eps))
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.PreValidation = len(candidates)
+
+	// Phase 6: full-connectivity validation (convoy-specific; the generic
+	// pipeline only guarantees partially connected candidates).
+	readsBefore := store.Stats().Snapshot().PointsRead - rep.PointsProcessed
+	start := time.Now()
+	out := model.NewConvoySet()
+	for _, v := range candidates {
+		if out.Covers(v) {
+			continue
+		}
+		sub, err := vcoda.RestrictFromStore(store, v.Objs, v.Interval())
+		if err != nil {
+			return nil, rep, err
+		}
+		for _, fc := range vcoda.Validate(sub, []model.Convoy{v}, cfg.M, cfg.K, cfg.Eps) {
+			out.Update(fc)
+		}
+	}
+	rep.ValidateTime = time.Since(start)
+	res := out.Sorted()
+	rep.Convoys = len(res)
+	rep.PointsProcessed = store.Stats().Snapshot().PointsRead - readsBefore
+	return res, rep, nil
+}
+
+// MineCandidates runs the pattern-generic part of the k/2-hop pipeline
+// (phases 1–5: benchmark grouping, candidate intersection, HWMT, merge,
+// extension) and returns the maximal candidates of size ≥ M and length ≥ K.
+// Convoy mining validates these for full connectivity afterwards; patterns
+// without a connectivity subtlety (flocks) use them directly.
+func MineCandidates(store storage.Store, cfg Config, grouper Grouper) ([]model.Convoy, *Report, error) {
+	if cfg.K < 2 {
+		return nil, nil, errors.New("core: K must be ≥ 2 (use a full-sweep miner for K=1)")
+	}
+	if cfg.M < 1 {
+		return nil, nil, errors.New("core: M must be ≥ 1")
+	}
+	if cfg.MaxReExtend <= 0 {
+		cfg.MaxReExtend = 4
+	}
+	rep := &Report{}
+	readsBefore := store.Stats().Snapshot().PointsRead
+	defer func() {
+		rep.PointsProcessed = store.Stats().Snapshot().PointsRead - readsBefore
+	}()
+
+	ts, te := store.TimeRange()
+	if te < ts || int(te-ts)+1 < cfg.K {
+		return nil, rep, nil // dataset shorter than K: no patterns possible
+	}
+	mi := &miner{store: store, cfg: cfg, ts: ts, te: te, grouper: grouper}
+
+	// Phase 1: benchmark points and benchmark clusters.
+	start := time.Now()
+	hop := int32(cfg.K / 2)
+	var bps []int32
+	for b := ts; b <= te; b += hop {
+		bps = append(bps, b)
+	}
+	rep.BenchmarkPoints = len(bps)
+	benchClusters := make([][]model.ObjSet, len(bps))
+	for i, b := range bps {
+		snap, err := store.Snapshot(b)
+		if err != nil {
+			return nil, rep, fmt.Errorf("core: benchmark snapshot %d: %w", b, err)
+		}
+		benchClusters[i] = grouper.Benchmark(snap)
+	}
+	rep.BenchmarkTime = time.Since(start)
+
+	// Phase 2: candidate clusters per hop-window.
+	start = time.Now()
+	cc := make([][]model.ObjSet, len(bps)-1)
+	for i := 0; i+1 < len(bps); i++ {
+		cc[i] = intersectClusterSets(benchClusters[i], benchClusters[i+1], cfg.M)
+		if len(cc[i]) > 0 {
+			rep.HopWindows++
+		}
+	}
+	rep.CandidateTime = time.Since(start)
+
+	// Phase 3: HWMT per hop-window → 1st-order spanning convoys.
+	start = time.Now()
+	spanning := make([][]model.Convoy, len(cc))
+	for i := range cc {
+		if len(cc[i]) == 0 {
+			continue
+		}
+		surv, err := mi.hwmt(bps[i]+1, bps[i+1]-1, cc[i])
+		if err != nil {
+			return nil, rep, err
+		}
+		for _, objs := range surv {
+			spanning[i] = append(spanning[i], model.Convoy{Objs: objs, Start: bps[i], End: bps[i+1]})
+		}
+		rep.Spanning += len(surv)
+	}
+	rep.HWMTTime = time.Since(start)
+
+	// Phase 4: merge spanning convoys across windows.
+	start = time.Now()
+	merged := dcm.Merge(spanning, cfg.M)
+	rep.Merged = len(merged)
+	rep.MergeTime = time.Since(start)
+
+	// Phase 5: extend to the true starts and ends.
+	extended, err := mi.extendAll(merged, rep)
+	if err != nil {
+		return nil, rep, err
+	}
+	// Only candidates satisfying K and M can be (or cover) final patterns.
+	var candidates []model.Convoy
+	for _, v := range extended {
+		if v.Len() >= cfg.K && v.Size() >= cfg.M {
+			candidates = append(candidates, v)
+		}
+	}
+	return candidates, rep, nil
+}
+
+// miner carries the store and parameters through the phases.
+type miner struct {
+	store   storage.Store
+	cfg     Config
+	ts, te  int32
+	grouper Grouper
+}
+
+// recluster fetches the positions of objs at t and groups them among
+// themselves (restricted grouping), returning groups of size ≥ M.
+func (mi *miner) recluster(t int32, objs model.ObjSet) ([]model.ObjSet, error) {
+	rows, err := mi.store.Fetch(t, objs)
+	if err != nil {
+		return nil, fmt.Errorf("core: fetch t=%d: %w", t, err)
+	}
+	return mi.grouper.Restricted(rows), nil
+}
+
+// intersectClusterSets computes the candidate clusters CC = {c ∩ c' : |c ∩
+// c'| ≥ m} of two benchmark cluster sets.
+func intersectClusterSets(a, b []model.ObjSet, m int) []model.ObjSet {
+	var out []model.ObjSet
+	for _, ca := range a {
+		for _, cb := range b {
+			// Quick reject before allocating.
+			if ca.IntersectSize(cb) < m {
+				continue
+			}
+			out = append(out, ca.Intersect(cb))
+		}
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+// Package cuts implements the CuTS filter-and-refine convoy miners of Jeung
+// et al. (PVLDB'08) that the paper discusses as sequential baselines (§2):
+//
+//  1. Filter: every trajectory is simplified with the Douglas–Peucker
+//     algorithm, the simplified trajectories are chopped into λ-length
+//     pieces, and the pieces are clustered by trajectory distance; only
+//     objects whose pieces co-cluster with enough others can possibly form
+//     convoys, so everything else is discarded.
+//  2. Refine: the exact miner (PCCD) runs on the reduced dataset; because
+//     simplification can under-estimate distances, the refinement step
+//     re-checks real positions, keeping the result exact.
+//
+// Variants differ in the piece distance used during filtering: CuTS uses
+// the maximum gap between the pieces, CuTS* the average gap (tighter
+// filter, more pruning, more refinement work). The trajectory
+// simplification is O(T²) per trajectory — the cost the paper's §2 calls
+// out — and the filter needs a trajectory-major data layout, which is why
+// CuTS cannot reuse the time-major indexes of §5.
+package cuts
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cmc"
+	"repro/internal/dbscan"
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+// Variant selects the piece-distance used by the filter step.
+type Variant int
+
+const (
+	// CuTS filters with the maximum pointwise gap between pieces.
+	CuTS Variant = iota
+	// CuTSStar filters with the average pointwise gap.
+	CuTSStar
+)
+
+// Config carries the CuTS parameters.
+type Config struct {
+	M   int
+	K   int
+	Eps float64
+	// Lambda is the piece length in ticks. The default is ⌊K/2⌋ (min 2):
+	// by the same pigeonhole argument as k/2-hop's benchmark points, every
+	// convoy of length ≥ K then fully covers at least one window, so the
+	// within-window proximity filter cannot miss it outright.
+	Lambda int
+	// Tolerance is the Douglas–Peucker tolerance (default: Eps/2).
+	Tolerance float64
+	// Variant selects the filter distance.
+	Variant Variant
+}
+
+// Mine runs CuTS against a store.
+func Mine(store storage.Store, cfg Config) ([]model.Convoy, error) {
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = cfg.K / 2
+	}
+	if cfg.Lambda < 2 {
+		cfg.Lambda = 2
+	}
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = cfg.Eps / 2
+	}
+	ts, te := store.TimeRange()
+	if te < ts {
+		return nil, nil
+	}
+	// Materialise trajectories (trajectory-major layout: one pass over all
+	// snapshots; CuTS fundamentally needs the whole dataset).
+	trajs := map[int32][]model.Point{}
+	for t := ts; t <= te; t++ {
+		snap, err := store.Snapshot(t)
+		if err != nil {
+			return nil, fmt.Errorf("cuts: snapshot %d: %w", t, err)
+		}
+		for _, p := range snap {
+			trajs[p.OID] = append(trajs[p.OID], model.Point{OID: p.OID, T: t, X: p.X, Y: p.Y})
+		}
+	}
+
+	// Filter phase: simplify, chop into λ pieces, cluster pieces.
+	keep := filterObjects(trajs, ts, te, cfg)
+
+	// Refine phase: exact PCCD on the surviving objects only.
+	mn := cmc.NewMiner(cfg.M, cfg.K)
+	for t := ts; t <= te; t++ {
+		rows, err := store.Fetch(t, keep)
+		if err != nil {
+			return nil, fmt.Errorf("cuts: fetch %d: %w", t, err)
+		}
+		mn.Step(t, dbscan.Cluster(rows, cfg.Eps, cfg.M))
+	}
+	return mn.Finish(), nil
+}
+
+// filterObjects returns the ids of objects whose simplified sub-trajectories
+// co-travel with at least M-1 others during some λ window.
+func filterObjects(trajs map[int32][]model.Point, ts, te int32, cfg Config) model.ObjSet {
+	type piece struct {
+		oid  int32
+		traj []model.Point // simplified points within the window
+	}
+	lambda := int32(cfg.Lambda)
+	survivors := map[int32]bool{}
+	for wStart := ts; wStart <= te; wStart += lambda {
+		wEnd := wStart + lambda - 1
+		var pieces []piece
+		for oid, tr := range trajs {
+			var seg []model.Point
+			for _, p := range tr {
+				if p.T >= wStart && p.T <= wEnd {
+					seg = append(seg, p)
+				}
+			}
+			if len(seg) == 0 {
+				continue
+			}
+			pieces = append(pieces, piece{oid: oid, traj: DouglasPeucker(seg, cfg.Tolerance)})
+		}
+		// Density filter over pieces: an object survives the window if at
+		// least M-1 other pieces are within Eps (by the variant's distance).
+		for i := range pieces {
+			near := 1
+			for j := range pieces {
+				if i == j {
+					continue
+				}
+				var d float64
+				if cfg.Variant == CuTSStar {
+					d = avgPieceDist(pieces[i].traj, pieces[j].traj)
+				} else {
+					d = maxPieceDist(pieces[i].traj, pieces[j].traj)
+				}
+				if d <= cfg.Eps*2 { // simplification slack: tolerance on both sides
+					near++
+				}
+			}
+			if near >= cfg.M {
+				survivors[pieces[i].oid] = true
+			}
+		}
+	}
+	ids := make([]int32, 0, len(survivors))
+	for oid := range survivors {
+		ids = append(ids, oid)
+	}
+	return model.NewObjSet(ids...)
+}
+
+// DouglasPeucker simplifies a trajectory: points within tolerance of the
+// line between the retained endpoints are dropped (Douglas & Peucker 1973).
+func DouglasPeucker(pts []model.Point, tolerance float64) []model.Point {
+	if len(pts) <= 2 {
+		return pts
+	}
+	// Find the point farthest from the first–last chord.
+	first, last := pts[0], pts[len(pts)-1]
+	maxDist, maxIdx := -1.0, -1
+	for i := 1; i < len(pts)-1; i++ {
+		d := pointSegDist(pts[i], first, last)
+		if d > maxDist {
+			maxDist, maxIdx = d, i
+		}
+	}
+	if maxDist <= tolerance {
+		return []model.Point{first, last}
+	}
+	left := DouglasPeucker(pts[:maxIdx+1], tolerance)
+	right := DouglasPeucker(pts[maxIdx:], tolerance)
+	return append(left[:len(left)-1], right...)
+}
+
+func pointSegDist(p, a, b model.Point) float64 {
+	abx, aby := b.X-a.X, b.Y-a.Y
+	apx, apy := p.X-a.X, p.Y-a.Y
+	den := abx*abx + aby*aby
+	t := 0.0
+	if den > 0 {
+		t = (apx*abx + apy*aby) / den
+	}
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	dx := p.X - (a.X + t*abx)
+	dy := p.Y - (a.Y + t*aby)
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// maxPieceDist is the maximum distance from any point of a to segment chain
+// b (symmetrised).
+func maxPieceDist(a, b []model.Point) float64 {
+	return math.Max(dirPieceDist(a, b, true), dirPieceDist(b, a, true))
+}
+
+// avgPieceDist is the average pointwise distance (symmetrised).
+func avgPieceDist(a, b []model.Point) float64 {
+	return (dirPieceDist(a, b, false) + dirPieceDist(b, a, false)) / 2
+}
+
+func dirPieceDist(a, b []model.Point, useMax bool) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.Inf(1)
+	}
+	agg := 0.0
+	for _, p := range a {
+		best := math.Inf(1)
+		if len(b) == 1 {
+			best = math.Hypot(p.X-b[0].X, p.Y-b[0].Y)
+		}
+		for i := 1; i < len(b); i++ {
+			d := pointSegDist(p, b[i-1], b[i])
+			if d < best {
+				best = d
+			}
+		}
+		if useMax {
+			if best > agg {
+				agg = best
+			}
+		} else {
+			agg += best
+		}
+	}
+	if useMax {
+		return agg
+	}
+	return agg / float64(len(a))
+}

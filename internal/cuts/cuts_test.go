@@ -1,0 +1,147 @@
+package cuts
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cmc"
+	"repro/internal/minetest"
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+func TestSimpleConvoyFound(t *testing.T) {
+	ds := minetest.BuildRanges([]minetest.Range{
+		{Start: 0, End: 9, Groups: [][]int32{{1, 2, 3}}},
+	})
+	for _, variant := range []Variant{CuTS, CuTSStar} {
+		got, err := Mine(storage.NewMemStore(ds), Config{M: 3, K: 5, Eps: minetest.Eps, Variant: variant})
+		if err != nil {
+			t.Fatalf("Mine: %v", err)
+		}
+		want := []model.Convoy{model.NewConvoy(model.NewObjSet(1, 2, 3), 0, 9)}
+		if !model.ConvoysEqual(got, want) {
+			t.Fatalf("variant %d: got %v, want %v", variant, got, want)
+		}
+	}
+}
+
+func TestFilterPrunesLoners(t *testing.T) {
+	// One convoy plus far-away wanderers: the refine phase must only fetch
+	// the surviving objects.
+	groups := map[int32][][]int32{}
+	for tt := int32(0); tt < 12; tt++ {
+		groups[tt] = [][]int32{{1, 2, 3}, {50}, {60}, {70}}
+	}
+	ds := minetest.Build(groups)
+	ms := storage.NewMemStore(ds)
+	got, err := Mine(ms, Config{M: 3, K: 6, Eps: minetest.Eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []model.Convoy{model.NewConvoy(model.NewObjSet(1, 2, 3), 0, 11)}
+	if !model.ConvoysEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// The refine phase fetch volume must be below the full dataset (the
+	// filter pruned the loners).
+	st := ms.Stats().Snapshot()
+	if st.PointQueries >= int64(ds.NumPoints()) {
+		t.Fatalf("filter did not prune: %d point queries", st.PointQueries)
+	}
+}
+
+// CuTS is a filter-and-refine heuristic; like the published original it can
+// lose convoys when the simplification bound is tight, but on scenarios with
+// clear separation it must agree with PCCD.
+func TestAgreesWithPCCDOnSeparatedData(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		ds := minetest.Random(seed, 10, 16)
+		want, err := cmc.Mine(storage.NewMemStore(ds), 3, 4, minetest.Eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Mine(storage.NewMemStore(ds), Config{M: 3, K: 4, Eps: minetest.Eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !model.ConvoysEqual(got, want) {
+			t.Fatalf("seed %d:\n got %v\nwant %v", seed, got, want)
+		}
+	}
+}
+
+func TestDouglasPeuckerStraightLine(t *testing.T) {
+	var pts []model.Point
+	for i := 0; i < 20; i++ {
+		pts = append(pts, model.Point{T: int32(i), X: float64(i), Y: 0})
+	}
+	got := DouglasPeucker(pts, 0.1)
+	if len(got) != 2 {
+		t.Fatalf("straight line should simplify to 2 points, got %d", len(got))
+	}
+	if got[0] != pts[0] || got[1] != pts[19] {
+		t.Fatalf("endpoints must be preserved")
+	}
+}
+
+func TestDouglasPeuckerKeepsCorners(t *testing.T) {
+	pts := []model.Point{
+		{T: 0, X: 0, Y: 0},
+		{T: 1, X: 5, Y: 0},
+		{T: 2, X: 10, Y: 0},
+		{T: 3, X: 10, Y: 5},
+		{T: 4, X: 10, Y: 10},
+	}
+	got := DouglasPeucker(pts, 0.5)
+	if len(got) != 3 {
+		t.Fatalf("corner should be kept: %v", got)
+	}
+	if got[1].X != 10 || got[1].Y != 0 {
+		t.Fatalf("kept point should be the corner, got %v", got[1])
+	}
+}
+
+func TestDouglasPeuckerErrorBound(t *testing.T) {
+	// Property: every original point is within tolerance of the simplified
+	// chain.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		var pts []model.Point
+		n := rng.Intn(40) + 3
+		for i := 0; i < n; i++ {
+			pts = append(pts, model.Point{T: int32(i), X: float64(i) + rng.Float64()*3, Y: rng.Float64() * 3})
+		}
+		tol := 0.5 + rng.Float64()
+		simp := DouglasPeucker(pts, tol)
+		for _, p := range pts {
+			best := 1e18
+			for i := 1; i < len(simp); i++ {
+				d := pointSegDist(p, simp[i-1], simp[i])
+				if d < best {
+					best = d
+				}
+			}
+			if best > tol+1e-9 {
+				t.Fatalf("trial %d: point %v is %f from simplified chain (tol %f)", trial, p, best, tol)
+			}
+		}
+	}
+}
+
+func TestDouglasPeuckerShortInputs(t *testing.T) {
+	if got := DouglasPeucker(nil, 1); len(got) != 0 {
+		t.Fatalf("nil input: %v", got)
+	}
+	one := []model.Point{{X: 1}}
+	if got := DouglasPeucker(one, 1); len(got) != 1 {
+		t.Fatalf("single input: %v", got)
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	got, err := Mine(storage.NewMemStore(model.NewDataset(nil)), Config{M: 3, K: 4, Eps: 1})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty dataset: %v %v", got, err)
+	}
+}

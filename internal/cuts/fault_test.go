@@ -1,0 +1,43 @@
+package cuts
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/minetest"
+	"repro/internal/storage"
+	"repro/internal/storage/storetest"
+)
+
+func TestCuTSPropagatesFaults(t *testing.T) {
+	ds := minetest.BuildRanges([]minetest.Range{
+		{Start: 0, End: 11, Groups: [][]int32{{1, 2, 3}}},
+	})
+	clean := storetest.NewFaultStore(storage.NewMemStore(ds), 1<<40)
+	if _, err := Mine(clean, Config{M: 3, K: 4, Eps: minetest.Eps}); err != nil {
+		t.Fatal(err)
+	}
+	// Fail in the trajectory-materialisation scan and in the refine fetches.
+	for _, budget := range []int64{0, clean.Ops() / 2, clean.Ops() - 1} {
+		fs := storetest.NewFaultStore(storage.NewMemStore(ds), budget)
+		if _, err := Mine(fs, Config{M: 3, K: 4, Eps: minetest.Eps}); !errors.Is(err, storetest.ErrInjected) {
+			t.Fatalf("budget %d: err = %v", budget, err)
+		}
+	}
+}
+
+func TestLambdaDefaultIsHalfK(t *testing.T) {
+	// The default λ follows the k/2 lemma; explicit λ is honoured.
+	ds := minetest.BuildRanges([]minetest.Range{
+		{Start: 0, End: 15, Groups: [][]int32{{1, 2, 3}}},
+	})
+	for _, lambda := range []int{0, 3, 8, 100} {
+		got, err := Mine(storage.NewMemStore(ds), Config{M: 3, K: 8, Eps: minetest.Eps, Lambda: lambda})
+		if err != nil {
+			t.Fatalf("λ=%d: %v", lambda, err)
+		}
+		if len(got) != 1 {
+			t.Fatalf("λ=%d: got %v", lambda, got)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+// Package brinkhoff reimplements the behaviour of the Brinkhoff
+// network-based moving-object generator (Brinkhoff, GeoInformatica 2002)
+// that the paper uses for its largest synthetic dataset (§6.2.3, Table 4):
+//
+//   - a road network of nodes and edges covering a rectangular data space;
+//   - edge classes with different speeds (arterials vs. local roads);
+//   - an initial population of objects plus a fixed number of new objects
+//     per tick ("ObjBegin" / "ObjTime" in the paper's Table 4);
+//   - every object routes from a random source node to a random destination
+//     node along a shortest path and disappears on arrival.
+//
+// Because routes share road segments, groups of objects naturally travel
+// together for stretches; an explicit platoon knob injects groups that stay
+// together for a controlled duration, which the experiments use to control
+// convoy counts.
+package brinkhoff
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"repro/internal/datagen"
+	"repro/internal/model"
+)
+
+// Params configures the generator. The zero value is unusable; start from
+// DefaultParams.
+type Params struct {
+	Seed int64
+	// GridW, GridH set the road-network size: GridW×GridH nodes connected
+	// in a perturbed grid with extra shortcut edges.
+	GridW, GridH int
+	// SpaceW, SpaceH are the data-space dimensions (paper: 23572×26915).
+	SpaceW, SpaceH float64
+	// MaxTime is the number of ticks (paper: 25000).
+	MaxTime int32
+	// ObjBegin objects exist at t=0; ObjPerTick more appear every tick.
+	ObjBegin, ObjPerTick int
+	// Classes is the number of speed classes (fastest ≈ 2× slowest).
+	Classes int
+	// PlatoonFraction of spawns are platoons of PlatoonSize objects that
+	// share a route and stay within PlatoonSpread of each other.
+	PlatoonFraction float64
+	PlatoonSize     int
+	PlatoonSpread   float64
+	// Jitter is the per-tick positional noise.
+	Jitter float64
+}
+
+// DefaultParams returns a laptop-scale configuration whose shape follows
+// the paper's Table 4 (which used 2.5M objects and 122M points; scale=1
+// here produces ~100k points, and the experiment harness scales up).
+func DefaultParams(seed int64) Params {
+	return Params{
+		Seed:            seed,
+		GridW:           24,
+		GridH:           26,
+		SpaceW:          23572,
+		SpaceH:          26915,
+		MaxTime:         500,
+		ObjBegin:        200,
+		ObjPerTick:      4,
+		Classes:         3,
+		PlatoonFraction: 0.05,
+		PlatoonSize:     4,
+		PlatoonSpread:   30,
+		Jitter:          15,
+	}
+}
+
+// Network is a road network: nodes with coordinates and a weighted
+// adjacency list.
+type Network struct {
+	Nodes []datagen.XY
+	Adj   [][]Edge
+}
+
+// Edge is one directed road segment.
+type Edge struct {
+	To    int
+	Len   float64
+	Class int // 0 = fastest
+}
+
+// NewNetwork builds the perturbed-grid road network.
+func NewNetwork(p Params, rng *rand.Rand) *Network {
+	nw := &Network{}
+	dx := p.SpaceW / float64(p.GridW)
+	dy := p.SpaceH / float64(p.GridH)
+	idx := func(x, y int) int { return y*p.GridW + x }
+	for y := 0; y < p.GridH; y++ {
+		for x := 0; x < p.GridW; x++ {
+			nw.Nodes = append(nw.Nodes, datagen.XY{
+				X: (float64(x)+0.5)*dx + (rng.Float64()-0.5)*dx*0.4,
+				Y: (float64(y)+0.5)*dy + (rng.Float64()-0.5)*dy*0.4,
+			})
+		}
+	}
+	nw.Adj = make([][]Edge, len(nw.Nodes))
+	addEdge := func(a, b, class int) {
+		l := nw.Nodes[a].Dist(nw.Nodes[b])
+		nw.Adj[a] = append(nw.Adj[a], Edge{To: b, Len: l, Class: class})
+		nw.Adj[b] = append(nw.Adj[b], Edge{To: a, Len: l, Class: class})
+	}
+	for y := 0; y < p.GridH; y++ {
+		for x := 0; x < p.GridW; x++ {
+			// Horizontal arterials every 4 rows, otherwise local roads.
+			if x+1 < p.GridW {
+				class := 1
+				if y%4 == 0 {
+					class = 0
+				}
+				addEdge(idx(x, y), idx(x+1, y), class)
+			}
+			if y+1 < p.GridH {
+				class := 1
+				if x%4 == 0 {
+					class = 0
+				}
+				addEdge(idx(x, y), idx(x, y+1), class)
+			}
+			// Occasional diagonal shortcut.
+			if x+1 < p.GridW && y+1 < p.GridH && rng.Float64() < 0.1 {
+				addEdge(idx(x, y), idx(x+1, y+1), 2%maxInt(p.Classes, 1))
+			}
+		}
+	}
+	return nw
+}
+
+// NumEdges returns the number of undirected edges.
+func (nw *Network) NumEdges() int {
+	n := 0
+	for _, adj := range nw.Adj {
+		n += len(adj)
+	}
+	return n / 2
+}
+
+// ShortestPath returns the node sequence of a shortest path from src to dst
+// (Dijkstra), or nil if unreachable.
+func (nw *Network) ShortestPath(src, dst int) []int {
+	const inf = 1e18
+	dist := make([]float64, len(nw.Nodes))
+	prev := make([]int, len(nw.Nodes))
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	dist[src] = 0
+	pq := &nodeHeap{{node: src, d: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeItem)
+		if it.node == dst {
+			break
+		}
+		if it.d > dist[it.node] {
+			continue
+		}
+		for _, e := range nw.Adj[it.node] {
+			nd := it.d + e.Len
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				prev[e.To] = it.node
+				heap.Push(pq, nodeItem{node: e.To, d: nd})
+			}
+		}
+	}
+	if dist[dst] == inf {
+		return nil
+	}
+	var path []int
+	for at := dst; at != -1; at = prev[at] {
+		path = append(path, at)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+type nodeItem struct {
+	node int
+	d    float64
+}
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Generate runs the simulation and returns the dataset.
+func Generate(p Params) *model.Dataset {
+	rng := rand.New(rand.NewSource(p.Seed))
+	nw := NewNetwork(p, rng)
+	baseSpeed := (p.SpaceW + p.SpaceH) / 2 / 50 // cross the space in ~50 ticks on arterials
+
+	type mover struct {
+		oid    int32
+		walker *datagen.Walker
+		jitter float64
+	}
+	var (
+		pts     []model.Point
+		movers  []*mover
+		nextOID int32
+	)
+	classSpeed := func(class int) float64 {
+		// class 0 fastest; each class ~25% slower.
+		s := baseSpeed
+		for i := 0; i < class; i++ {
+			s *= 0.75
+		}
+		return s
+	}
+	spawnRoute := func() (datagen.Polyline, float64) {
+		for tries := 0; tries < 10; tries++ {
+			src := rng.Intn(len(nw.Nodes))
+			dst := rng.Intn(len(nw.Nodes))
+			if src == dst {
+				continue
+			}
+			path := nw.ShortestPath(src, dst)
+			if len(path) < 2 {
+				continue
+			}
+			poly := make(datagen.Polyline, len(path))
+			worst := 0
+			for i, n := range path {
+				poly[i] = nw.Nodes[n]
+				if i > 0 {
+					for _, e := range nw.Adj[path[i-1]] {
+						if e.To == n && e.Class > worst {
+							worst = e.Class
+						}
+					}
+				}
+			}
+			return poly, classSpeed(worst)
+		}
+		return nil, 0
+	}
+	spawn := func(n int) {
+		for i := 0; i < n; i++ {
+			route, speed := spawnRoute()
+			if route == nil {
+				continue
+			}
+			if rng.Float64() < p.PlatoonFraction {
+				// A platoon: PlatoonSize objects sharing the route, same
+				// speed, slightly offset so they stay density-connected.
+				for g := 0; g < p.PlatoonSize; g++ {
+					off := make(datagen.Polyline, len(route))
+					for j, q := range route {
+						off[j] = datagen.Jitter(rng, q, p.PlatoonSpread)
+					}
+					movers = append(movers, &mover{
+						oid:    nextOID,
+						walker: datagen.NewWalker(off, speed),
+						jitter: p.Jitter,
+					})
+					nextOID++
+				}
+				continue
+			}
+			movers = append(movers, &mover{
+				oid:    nextOID,
+				walker: datagen.NewWalker(route, speed*(0.8+rng.Float64()*0.4)),
+				jitter: p.Jitter,
+			})
+			nextOID++
+		}
+	}
+
+	spawn(p.ObjBegin)
+	for t := int32(0); t < p.MaxTime; t++ {
+		if t > 0 {
+			spawn(p.ObjPerTick)
+		}
+		alive := movers[:0]
+		for _, m := range movers {
+			pos, ok := m.walker.Step()
+			pts = datagen.Emit(pts, m.oid, t, datagen.Jitter(rng, pos, m.jitter))
+			if ok {
+				alive = append(alive, m)
+			}
+		}
+		movers = alive
+		if len(movers) == 0 && t > p.MaxTime/2 {
+			break
+		}
+	}
+	return model.NewDataset(pts)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,197 @@
+package brinkhoff
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func smallParams(seed int64) Params {
+	p := DefaultParams(seed)
+	p.GridW, p.GridH = 8, 8
+	p.MaxTime = 60
+	p.ObjBegin = 30
+	p.ObjPerTick = 2
+	return p
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallParams(42))
+	b := Generate(smallParams(42))
+	if a.NumPoints() != b.NumPoints() {
+		t.Fatalf("same seed, different sizes: %d vs %d", a.NumPoints(), b.NumPoints())
+	}
+	ap, bp := a.Points(), b.Points()
+	for i := range ap {
+		if ap[i] != bp[i] {
+			t.Fatalf("same seed, different point %d: %v vs %v", i, ap[i], bp[i])
+		}
+	}
+	c := Generate(smallParams(43))
+	if c.NumPoints() == a.NumPoints() && pointsEqual(c.Points(), ap) {
+		t.Fatalf("different seed produced identical dataset")
+	}
+}
+
+func pointsEqual(a, b []model.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGenerateShape(t *testing.T) {
+	p := smallParams(7)
+	ds := Generate(p)
+	if ds.NumPoints() == 0 {
+		t.Fatalf("no points generated")
+	}
+	ts, te := ds.TimeRange()
+	if ts != 0 || te >= p.MaxTime {
+		t.Fatalf("time range [%d,%d] out of bounds", ts, te)
+	}
+	// Positions stay roughly inside the data space (jitter can push a little
+	// past the node hull, which itself is inside the space).
+	for tt := ts; tt <= te; tt++ {
+		for _, q := range ds.Snapshot(tt) {
+			if q.X < -1000 || q.X > p.SpaceW+1000 || q.Y < -1000 || q.Y > p.SpaceH+1000 {
+				t.Fatalf("point far outside data space: %v", q)
+			}
+		}
+	}
+	if got := len(ds.Objects()); got < p.ObjBegin {
+		t.Fatalf("expected at least %d objects, got %d", p.ObjBegin, got)
+	}
+}
+
+func TestNetworkConnectivity(t *testing.T) {
+	p := smallParams(3)
+	rng := rand.New(rand.NewSource(p.Seed))
+	nw := NewNetwork(p, rng)
+	if len(nw.Nodes) != p.GridW*p.GridH {
+		t.Fatalf("node count = %d", len(nw.Nodes))
+	}
+	if nw.NumEdges() < p.GridW*p.GridH {
+		t.Fatalf("too few edges: %d", nw.NumEdges())
+	}
+	// The grid skeleton guarantees full connectivity: a path must exist
+	// between the corners.
+	path := nw.ShortestPath(0, len(nw.Nodes)-1)
+	if len(path) < 2 {
+		t.Fatalf("no path across the network")
+	}
+	// Path edges must actually exist.
+	for i := 1; i < len(path); i++ {
+		found := false
+		for _, e := range nw.Adj[path[i-1]] {
+			if e.To == path[i] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("path uses non-existent edge %d->%d", path[i-1], path[i])
+		}
+	}
+	if got := nw.ShortestPath(5, 5); len(got) != 1 {
+		t.Fatalf("self path = %v", got)
+	}
+}
+
+func TestShortestPathIsShortest(t *testing.T) {
+	// On a tiny network, compare Dijkstra against brute-force enumeration.
+	p := smallParams(9)
+	p.GridW, p.GridH = 3, 3
+	rng := rand.New(rand.NewSource(1))
+	nw := NewNetwork(p, rng)
+	pathLen := func(path []int) float64 {
+		total := 0.0
+		for i := 1; i < len(path); i++ {
+			found := false
+			for _, e := range nw.Adj[path[i-1]] {
+				if e.To == path[i] {
+					total += e.Len
+					found = true
+					break
+				}
+			}
+			if !found {
+				return -1
+			}
+		}
+		return total
+	}
+	// Brute force DFS up to depth 8.
+	var best float64
+	var dfs func(at, dst int, visited map[int]bool, sofar float64)
+	dfs = func(at, dst int, visited map[int]bool, sofar float64) {
+		if sofar >= best {
+			return
+		}
+		if at == dst {
+			best = sofar
+			return
+		}
+		visited[at] = true
+		for _, e := range nw.Adj[at] {
+			if !visited[e.To] {
+				dfs(e.To, dst, visited, sofar+e.Len)
+			}
+		}
+		delete(visited, at)
+	}
+	for _, pair := range [][2]int{{0, 8}, {2, 6}, {1, 7}} {
+		best = 1e18
+		dfs(pair[0], pair[1], map[int]bool{}, 0)
+		got := nw.ShortestPath(pair[0], pair[1])
+		gl := pathLen(got)
+		if gl < 0 {
+			t.Fatalf("invalid path returned")
+		}
+		if gl > best+1e-6 {
+			t.Fatalf("Dijkstra %f > brute force %f for %v", gl, best, pair)
+		}
+	}
+}
+
+func TestPlatoonsTravelTogether(t *testing.T) {
+	p := smallParams(11)
+	p.PlatoonFraction = 1.0 // every spawn is a platoon
+	p.ObjBegin = 4
+	p.ObjPerTick = 0
+	p.Jitter = 5
+	ds := Generate(p)
+	// The first PlatoonSize objects share a route: at every tick where all
+	// are present they must be within a few hundred units of each other.
+	ts, te := ds.TimeRange()
+	checked := 0
+	for tt := ts; tt <= te; tt++ {
+		snap := ds.Snapshot(tt)
+		if len(snap) < p.PlatoonSize {
+			continue
+		}
+		var members []model.ObjPos
+		for _, q := range snap {
+			if q.OID < int32(p.PlatoonSize) {
+				members = append(members, q)
+			}
+		}
+		if len(members) < p.PlatoonSize {
+			continue
+		}
+		for i := 1; i < len(members); i++ {
+			if model.Dist(members[0], members[i]) > 4*(p.PlatoonSpread+p.Jitter)+200 {
+				t.Fatalf("platoon scattered at t=%d: %v", tt, members)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatalf("no tick had the full platoon present")
+	}
+}

@@ -1,0 +1,93 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestPolylineLengthAndAt(t *testing.T) {
+	p := Polyline{{0, 0}, {3, 0}, {3, 4}}
+	if p.Length() != 7 {
+		t.Fatalf("Length = %f", p.Length())
+	}
+	if got := p.At(0); got != (XY{0, 0}) {
+		t.Fatalf("At(0) = %v", got)
+	}
+	if got := p.At(3); got != (XY{3, 0}) {
+		t.Fatalf("At(3) = %v", got)
+	}
+	if got := p.At(5); got != (XY{3, 2}) {
+		t.Fatalf("At(5) = %v", got)
+	}
+	if got := p.At(100); got != (XY{3, 4}) {
+		t.Fatalf("At(overshoot) = %v", got)
+	}
+	if got := p.At(-1); got != (XY{0, 0}) {
+		t.Fatalf("At(negative) = %v", got)
+	}
+}
+
+func TestPolylineDegenerate(t *testing.T) {
+	if got := (Polyline{}).At(5); got != (XY{}) {
+		t.Fatalf("empty At = %v", got)
+	}
+	if got := (Polyline{{1, 2}}).At(5); got != (XY{1, 2}) {
+		t.Fatalf("single At = %v", got)
+	}
+	// Zero-length segment must not divide by zero.
+	p := Polyline{{0, 0}, {0, 0}, {1, 0}}
+	if got := p.At(0.5); math.IsNaN(got.X) {
+		t.Fatalf("zero-length segment produced NaN")
+	}
+}
+
+func TestWalkerReachesEnd(t *testing.T) {
+	w := NewWalker(Polyline{{0, 0}, {10, 0}}, 3)
+	var steps int
+	for {
+		_, ok := w.Step()
+		steps++
+		if !ok {
+			break
+		}
+		if steps > 100 {
+			t.Fatalf("walker never finished")
+		}
+	}
+	if steps != 4 { // 3,6,9,12(≥10 → done)
+		t.Fatalf("steps = %d, want 4", steps)
+	}
+	if pos := w.Pos(); pos != (XY{10, 0}) {
+		t.Fatalf("final Pos = %v", pos)
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		p := Jitter(rng, XY{10, 10}, 2)
+		if math.Abs(p.X-10) > 2 || math.Abs(p.Y-10) > 2 {
+			t.Fatalf("jitter out of bounds: %v", p)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	ds := model.NewDataset([]model.Point{
+		{OID: 1, T: 0, X: 0, Y: 0},
+		{OID: 2, T: 1, X: 10, Y: 5},
+	})
+	st := Describe(ds)
+	if st.Points != 2 || st.Objects != 2 || st.Timestamps != 2 {
+		t.Fatalf("Describe = %+v", st)
+	}
+	if st.Width != 10 || st.Height != 5 {
+		t.Fatalf("Describe extent = %+v", st)
+	}
+	if got := Describe(model.NewDataset(nil)); got.Points != 0 || got.Width != 0 {
+		t.Fatalf("empty Describe = %+v", got)
+	}
+}

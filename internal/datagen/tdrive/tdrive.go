@@ -1,0 +1,144 @@
+// Package tdrive generates a stand-in for the T-Drive taxi dataset
+// (§6.2.2): ~10k taxis in Beijing over one week, average sampling interval
+// ~177 s, interpolated by the paper to a dense tick grid (15M points → 29M
+// after interpolation).
+//
+// The simulation: taxis hop between hotspots (transport hubs, districts) of
+// a city; a taxi picks a hotspot biased by popularity, drives there along a
+// two-segment path, dwells briefly, and picks another. A configurable
+// number of platoon groups (buses, arterial-road packs) travel together —
+// the dataset's convoys. Positions are emitted every tick, mirroring the
+// paper's interpolation step.
+package tdrive
+
+import (
+	"math/rand"
+
+	"repro/internal/datagen"
+	"repro/internal/model"
+)
+
+// Params configures the generator.
+type Params struct {
+	Seed int64
+	// Taxis is the fleet size (paper: 10357; default laptop scale: 300).
+	Taxis int
+	// Ticks is the number of timestamps (paper week ≈ 3400 ticks at 177 s).
+	Ticks int32
+	// Hotspots is the number of attraction points.
+	Hotspots int
+	// ConvoyGroups platoons of GroupSize taxis travel together.
+	ConvoyGroups int
+	GroupSize    int
+	// SpaceW, SpaceH are the city dimensions in metres.
+	SpaceW, SpaceH float64
+	// Jitter is GPS noise in metres.
+	Jitter float64
+}
+
+// DefaultParams mirrors the paper's dataset shape at laptop scale.
+func DefaultParams(seed int64) Params {
+	return Params{
+		Seed:         seed,
+		Taxis:        300,
+		Ticks:        400,
+		Hotspots:     15,
+		ConvoyGroups: 4,
+		GroupSize:    4,
+		SpaceW:       30000,
+		SpaceH:       30000,
+		Jitter:       10,
+	}
+}
+
+// Generate runs the simulation.
+func Generate(p Params) *model.Dataset {
+	rng := rand.New(rand.NewSource(p.Seed))
+	if p.GroupSize < 2 {
+		p.GroupSize = 2
+	}
+	hotspots := make([]datagen.XY, p.Hotspots)
+	for i := range hotspots {
+		hotspots[i] = datagen.XY{X: rng.Float64() * p.SpaceW, Y: rng.Float64() * p.SpaceH}
+	}
+	pick := func(rng *rand.Rand) datagen.XY {
+		// Zipf-ish popularity: hotspot i chosen with weight 1/(i+1).
+		total := 0.0
+		for i := range hotspots {
+			total += 1 / float64(i+1)
+		}
+		r := rng.Float64() * total
+		for i := range hotspots {
+			r -= 1 / float64(i+1)
+			if r <= 0 {
+				return hotspots[i]
+			}
+		}
+		return hotspots[len(hotspots)-1]
+	}
+	speed := p.SpaceW / 120
+
+	type taxi struct {
+		oid    int32
+		pos    datagen.XY
+		walker *datagen.Walker
+		dwell  int
+		leader *taxi // non-nil for platoon followers
+		offset datagen.XY
+	}
+	newLeg := func(rng *rand.Rand, from datagen.XY) *datagen.Walker {
+		// Destinations scatter around the hotspot (a district, not a single
+		// kerb): without the scatter, every dwelling taxi piles onto one
+		// point and forms giant standing clusters that look like convoys.
+		to := datagen.Jitter(rng, pick(rng), 600)
+		via := datagen.XY{X: to.X, Y: from.Y} // Manhattan-ish two-segment leg
+		return datagen.NewWalker(datagen.Polyline{from, via, to}, speed*(0.8+rng.Float64()*0.4))
+	}
+
+	var taxis []*taxi
+	var oid int32
+	spawnAt := func(leader *taxi) *taxi {
+		start := datagen.XY{X: rng.Float64() * p.SpaceW, Y: rng.Float64() * p.SpaceH}
+		t := &taxi{oid: oid, pos: start}
+		oid++
+		if leader != nil {
+			t.leader = leader
+			t.offset = datagen.XY{X: (rng.Float64()*2 - 1) * 25, Y: (rng.Float64()*2 - 1) * 25}
+		} else {
+			t.walker = newLeg(rng, start)
+		}
+		taxis = append(taxis, t)
+		return t
+	}
+	// Platoon groups first (leader + followers), then independents.
+	for g := 0; g < p.ConvoyGroups; g++ {
+		lead := spawnAt(nil)
+		for i := 1; i < p.GroupSize; i++ {
+			spawnAt(lead)
+		}
+	}
+	for len(taxis) < p.Taxis {
+		spawnAt(nil)
+	}
+
+	var pts []model.Point
+	for t := int32(0); t < p.Ticks; t++ {
+		for _, tx := range taxis {
+			switch {
+			case tx.leader != nil:
+				tx.pos = datagen.XY{X: tx.leader.pos.X + tx.offset.X, Y: tx.leader.pos.Y + tx.offset.Y}
+			case tx.dwell > 0:
+				tx.dwell--
+			default:
+				pos, ok := tx.walker.Step()
+				tx.pos = pos
+				if !ok {
+					tx.dwell = rng.Intn(5)
+					tx.walker = newLeg(rng, tx.pos)
+				}
+			}
+			pts = datagen.Emit(pts, tx.oid, t, datagen.Jitter(rng, tx.pos, p.Jitter))
+		}
+	}
+	return model.NewDataset(pts)
+}

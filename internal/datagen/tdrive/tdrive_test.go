@@ -1,0 +1,66 @@
+package tdrive
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func smallParams(seed int64) Params {
+	p := DefaultParams(seed)
+	p.Taxis = 40
+	p.Ticks = 80
+	return p
+}
+
+func TestDeterministic(t *testing.T) {
+	a, b := Generate(smallParams(1)), Generate(smallParams(1))
+	ap, bp := a.Points(), b.Points()
+	if len(ap) != len(bp) {
+		t.Fatalf("non-deterministic sizes")
+	}
+	for i := range ap {
+		if ap[i] != bp[i] {
+			t.Fatalf("non-deterministic point %d", i)
+		}
+	}
+}
+
+func TestShape(t *testing.T) {
+	p := smallParams(2)
+	ds := Generate(p)
+	// Every taxi reports at every tick (the paper interpolates T-Drive to a
+	// dense grid).
+	if ds.NumPoints() != p.Taxis*int(p.Ticks) {
+		t.Fatalf("points = %d, want %d", ds.NumPoints(), p.Taxis*int(p.Ticks))
+	}
+	if len(ds.Objects()) != p.Taxis {
+		t.Fatalf("objects = %d", len(ds.Objects()))
+	}
+	ts, te := ds.TimeRange()
+	if ts != 0 || te != p.Ticks-1 {
+		t.Fatalf("time range [%d,%d]", ts, te)
+	}
+}
+
+func TestPlatoonsFollowLeader(t *testing.T) {
+	p := smallParams(3)
+	p.ConvoyGroups = 1
+	p.GroupSize = 4
+	p.Jitter = 3
+	ds := Generate(p)
+	// Objects 0..3 are the first platoon (leader 0). They must stay within
+	// ~platoon offset + jitter of the leader at every tick.
+	ts, te := ds.TimeRange()
+	for tt := ts; tt <= te; tt++ {
+		rows := ds.Fetch(tt, model.NewObjSet(0, 1, 2, 3))
+		if len(rows) != 4 {
+			t.Fatalf("platoon incomplete at t=%d", tt)
+		}
+		for _, r := range rows[1:] {
+			if model.Dist(rows[0], r) > 100 {
+				t.Fatalf("follower strayed at t=%d: %v vs %v", tt, rows[0], r)
+			}
+		}
+	}
+}

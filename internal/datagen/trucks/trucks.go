@@ -1,0 +1,145 @@
+// Package trucks generates a stand-in for the paper's Trucks dataset
+// (§6.2.1): 50 concrete-delivery trucks around the Athens metropolitan
+// area, sampled every ~30 seconds over 33 days, where — following the paper
+// — each day of a truck's movement is treated as a separate object, giving
+// 276 trajectories from 50 physical trucks.
+//
+// The simulation: trucks start from one of a few depots, drive to randomly
+// assigned construction sites along Manhattan-ish routes, dwell, and
+// return. Trucks dispatched in the same batch drive together — those
+// batches are the convoys. The ConvoyGroups knob fixes how many together-
+// driving batches each day contains, which experiment Fig 8k sweeps.
+package trucks
+
+import (
+	"math/rand"
+
+	"repro/internal/datagen"
+	"repro/internal/model"
+)
+
+// Params configures the generator.
+type Params struct {
+	Seed int64
+	// Trucks is the number of physical trucks (paper: 50).
+	Trucks int
+	// Days of operation; each (truck, day) is a distinct object id
+	// (paper: 33 days → 276 trajectories; not every truck works every day).
+	Days int
+	// TicksPerDay is the samples per day (paper: ~2880 at 30s; default 300).
+	TicksPerDay int32
+	// WorkProbability is the chance a truck operates on a given day.
+	WorkProbability float64
+	// ConvoyGroups is the number of together-driving dispatch batches per
+	// day; GroupSize trucks per batch.
+	ConvoyGroups int
+	GroupSize    int
+	// SpaceW, SpaceH are the data-space dimensions in metres.
+	SpaceW, SpaceH float64
+	// Jitter is GPS noise in metres.
+	Jitter float64
+}
+
+// DefaultParams mirrors the paper's dataset shape at laptop scale.
+func DefaultParams(seed int64) Params {
+	return Params{
+		Seed:            seed,
+		Trucks:          50,
+		Days:            6,
+		TicksPerDay:     300,
+		WorkProbability: 0.85,
+		ConvoyGroups:    3,
+		GroupSize:       4,
+		SpaceW:          40000,
+		SpaceH:          30000,
+		Jitter:          8,
+	}
+}
+
+// Generate runs the simulation.
+func Generate(p Params) *model.Dataset {
+	rng := rand.New(rand.NewSource(p.Seed))
+	if p.GroupSize < 2 {
+		p.GroupSize = 2
+	}
+	// Fixed infrastructure: depots and construction sites.
+	nDepots := 3
+	depots := make([]datagen.XY, nDepots)
+	for i := range depots {
+		depots[i] = datagen.XY{X: rng.Float64() * p.SpaceW, Y: rng.Float64() * p.SpaceH}
+	}
+	nSites := 25
+	sites := make([]datagen.XY, nSites)
+	for i := range sites {
+		sites[i] = datagen.XY{X: rng.Float64() * p.SpaceW, Y: rng.Float64() * p.SpaceH}
+	}
+	speed := p.SpaceW / float64(p.TicksPerDay) * 6 // several round trips per day
+
+	// route builds a Manhattan-ish path depot → site → depot with a couple
+	// of via points so different routes do not overlap by accident.
+	route := func(rng *rand.Rand, depot, site datagen.XY) datagen.Polyline {
+		mid1 := datagen.XY{X: site.X, Y: depot.Y}
+		out := datagen.Polyline{depot, mid1, site}
+		back := datagen.Polyline{site, datagen.XY{X: depot.X, Y: site.Y}, depot}
+		return append(out, back[1:]...)
+	}
+
+	var pts []model.Point
+	var oid int32
+	for day := 0; day < p.Days; day++ {
+		dayBase := int32(day) * p.TicksPerDay
+		// Choose which trucks work today and group the first
+		// ConvoyGroups×GroupSize of them into dispatch batches.
+		var working []int
+		for tr := 0; tr < p.Trucks; tr++ {
+			if rng.Float64() < p.WorkProbability {
+				working = append(working, tr)
+			}
+		}
+		rng.Shuffle(len(working), func(i, j int) { working[i], working[j] = working[j], working[i] })
+
+		assignTrip := func(members []int, together bool) {
+			if len(members) == 0 {
+				return
+			}
+			depot := depots[rng.Intn(nDepots)]
+			site := sites[rng.Intn(nSites)]
+			base := route(rng, depot, site)
+			start := int32(rng.Intn(int(p.TicksPerDay) / 4))
+			for _, tr := range members {
+				_ = tr
+				path := base
+				spd := speed
+				st := start
+				if !together {
+					// Independent truck: its own depot/site/schedule.
+					depot := depots[rng.Intn(nDepots)]
+					site := sites[rng.Intn(nSites)]
+					path = route(rng, depot, site)
+					spd = speed * (0.8 + rng.Float64()*0.4)
+					st = int32(rng.Intn(int(p.TicksPerDay) / 2))
+				}
+				w := datagen.NewWalker(path, spd)
+				myOID := oid
+				oid++
+				for t := st; t < p.TicksPerDay; t++ {
+					pos, ok := w.Step()
+					pts = datagen.Emit(pts, myOID, dayBase+t, datagen.Jitter(rng, pos, p.Jitter))
+					if !ok {
+						break
+					}
+				}
+			}
+		}
+
+		i := 0
+		for g := 0; g < p.ConvoyGroups && i+p.GroupSize <= len(working); g++ {
+			assignTrip(working[i:i+p.GroupSize], true)
+			i += p.GroupSize
+		}
+		for ; i < len(working); i++ {
+			assignTrip(working[i:i+1], false)
+		}
+	}
+	return model.NewDataset(pts)
+}

@@ -1,0 +1,85 @@
+package trucks
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func smallParams(seed int64) Params {
+	p := DefaultParams(seed)
+	p.Trucks = 20
+	p.Days = 2
+	p.TicksPerDay = 80
+	return p
+}
+
+func TestDeterministic(t *testing.T) {
+	a, b := Generate(smallParams(1)), Generate(smallParams(1))
+	if a.NumPoints() != b.NumPoints() {
+		t.Fatalf("non-deterministic sizes: %d vs %d", a.NumPoints(), b.NumPoints())
+	}
+	ap, bp := a.Points(), b.Points()
+	for i := range ap {
+		if ap[i] != bp[i] {
+			t.Fatalf("non-deterministic point %d", i)
+		}
+	}
+}
+
+func TestShape(t *testing.T) {
+	p := smallParams(2)
+	ds := Generate(p)
+	if ds.NumPoints() == 0 {
+		t.Fatalf("no points")
+	}
+	ts, te := ds.TimeRange()
+	if ts < 0 || te >= int32(p.Days)*p.TicksPerDay {
+		t.Fatalf("time range [%d,%d]", ts, te)
+	}
+	// Object ids are (truck, day) pairs: more objects than trucks once
+	// Days > 1, fewer than Trucks*Days because of WorkProbability.
+	n := len(ds.Objects())
+	if n <= p.Trucks/2 || n > p.Trucks*p.Days {
+		t.Fatalf("object count %d implausible", n)
+	}
+}
+
+func TestConvoyGroupsStayTogether(t *testing.T) {
+	p := smallParams(3)
+	p.ConvoyGroups = 1
+	p.GroupSize = 3
+	p.Jitter = 2
+	ds := Generate(p)
+	ts, te := ds.TimeRange()
+	// Find a tick where ≥3 objects are pairwise within 100m — the dispatch
+	// batch driving together. There must be many such ticks.
+	togetherTicks := 0
+	for tt := ts; tt <= te; tt++ {
+		snap := ds.Snapshot(tt)
+		for i := 0; i < len(snap); i++ {
+			near := 0
+			for j := 0; j < len(snap); j++ {
+				if i != j && model.Dist(snap[i], snap[j]) < 100 {
+					near++
+				}
+			}
+			if near >= 2 {
+				togetherTicks++
+				break
+			}
+		}
+	}
+	if togetherTicks < 10 {
+		t.Fatalf("convoy group not travelling together: only %d ticks", togetherTicks)
+	}
+}
+
+func TestGroupSizeClamped(t *testing.T) {
+	p := smallParams(4)
+	p.GroupSize = 0 // must clamp to ≥2, not panic
+	ds := Generate(p)
+	if ds.NumPoints() == 0 {
+		t.Fatalf("no points with clamped group size")
+	}
+}

@@ -1,0 +1,284 @@
+package dbscan
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func pos(oid int32, x, y float64) model.ObjPos { return model.ObjPos{OID: oid, X: x, Y: y} }
+
+func TestEmptyAndDegenerateInputs(t *testing.T) {
+	if got := Cluster(nil, 1, 2); got != nil {
+		t.Fatalf("nil input should give nil, got %v", got)
+	}
+	objs := []model.ObjPos{pos(1, 0, 0)}
+	if got := Cluster(objs, 1, 2); got != nil {
+		t.Fatalf("fewer points than minPts should give nil, got %v", got)
+	}
+	if got := Cluster(objs, 1, 0); got != nil {
+		t.Fatalf("minPts=0 should give nil, got %v", got)
+	}
+	if got := Cluster(objs, 0, 1); len(got) != 1 {
+		t.Fatalf("eps=0 minPts=1 should give singleton cluster, got %v", got)
+	}
+}
+
+func TestTwoSeparatedClusters(t *testing.T) {
+	objs := []model.ObjPos{
+		pos(1, 0, 0), pos(2, 0.5, 0), pos(3, 1.0, 0),
+		pos(4, 100, 0), pos(5, 100.5, 0), pos(6, 101, 0),
+		pos(7, 50, 50), // noise
+	}
+	got := Cluster(objs, 0.6, 3)
+	if len(got) != 2 {
+		t.Fatalf("want 2 clusters, got %v", got)
+	}
+	want1, want2 := model.NewObjSet(1, 2, 3), model.NewObjSet(4, 5, 6)
+	found1, found2 := false, false
+	for _, c := range got {
+		if c.Equal(want1) {
+			found1 = true
+		}
+		if c.Equal(want2) {
+			found2 = true
+		}
+	}
+	if !found1 || !found2 {
+		t.Fatalf("clusters wrong: %v", got)
+	}
+}
+
+func TestChainIsDensityConnected(t *testing.T) {
+	// A long chain: each point within eps of the next, so with minPts=2 all
+	// points are density connected through the chain.
+	var objs []model.ObjPos
+	for i := 0; i < 50; i++ {
+		objs = append(objs, pos(int32(i), float64(i)*0.9, 0))
+	}
+	got := Cluster(objs, 1.0, 2)
+	if len(got) != 1 || len(got[0]) != 50 {
+		t.Fatalf("chain should form one cluster of 50, got %v", got)
+	}
+}
+
+func TestChainBreaksWithHigherMinPts(t *testing.T) {
+	// Same chain, minPts=3: interior points have 3 neighbours (self + 2),
+	// endpoints only 2, so endpoints become border points of the single
+	// cluster; the chain still holds together.
+	var objs []model.ObjPos
+	for i := 0; i < 10; i++ {
+		objs = append(objs, pos(int32(i), float64(i)*0.9, 0))
+	}
+	got := Cluster(objs, 1.0, 3)
+	if len(got) != 1 || len(got[0]) != 10 {
+		t.Fatalf("chain with minPts=3 should still be one cluster, got %v", got)
+	}
+}
+
+func TestBridgeObjectConnectsGroups(t *testing.T) {
+	// Two pairs connected only through a bridge point in the middle. This is
+	// the "partial connectivity" situation fully-connected convoy validation
+	// cares about: removing the bridge splits the cluster.
+	objs := []model.ObjPos{
+		pos(1, 0, 0), pos(2, 0.4, 0),
+		pos(10, 1.0, 0), // bridge
+		pos(3, 1.6, 0), pos(4, 2.0, 0),
+	}
+	withBridge := Cluster(objs, 0.7, 2)
+	if len(withBridge) != 1 || len(withBridge[0]) != 5 {
+		t.Fatalf("with bridge: want one cluster of 5, got %v", withBridge)
+	}
+	noBridge := Cluster([]model.ObjPos{objs[0], objs[1], objs[3], objs[4]}, 0.7, 2)
+	if len(noBridge) != 2 {
+		t.Fatalf("without bridge: want two clusters, got %v", noBridge)
+	}
+}
+
+func TestNoiseExcluded(t *testing.T) {
+	objs := []model.ObjPos{
+		pos(1, 0, 0), pos(2, 0.1, 0), pos(3, 0.2, 0),
+		pos(99, 10, 10),
+	}
+	got := Cluster(objs, 0.5, 3)
+	if len(got) != 1 {
+		t.Fatalf("want 1 cluster, got %v", got)
+	}
+	if got[0].Contains(99) {
+		t.Fatalf("noise point 99 should not be clustered")
+	}
+}
+
+func TestMinClusterSizeRespected(t *testing.T) {
+	// With minPts = m, every returned cluster must have ≥ m members.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var objs []model.ObjPos
+		n := rng.Intn(80) + 1
+		for i := 0; i < n; i++ {
+			objs = append(objs, pos(int32(i), rng.Float64()*10, rng.Float64()*10))
+		}
+		m := rng.Intn(5) + 2
+		for _, c := range Cluster(objs, 0.8, m) {
+			if len(c) < m {
+				t.Fatalf("cluster %v smaller than m=%d", c, m)
+			}
+		}
+	}
+}
+
+func TestClustersDisjointAndValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		var objs []model.ObjPos
+		n := rng.Intn(120) + 2
+		for i := 0; i < n; i++ {
+			objs = append(objs, pos(int32(i), rng.Float64()*5, rng.Float64()*5))
+		}
+		clusters := Cluster(objs, 0.5, 3)
+		seen := map[int32]bool{}
+		for _, c := range clusters {
+			if !c.Valid() {
+				t.Fatalf("cluster not sorted/deduped: %v", c)
+			}
+			for _, oid := range c {
+				if seen[oid] {
+					t.Fatalf("object %d in two clusters", oid)
+				}
+				seen[oid] = true
+			}
+		}
+	}
+}
+
+// Brute-force DBSCAN used as a reference: O(n²) neighbourhoods, same border
+// semantics do not necessarily match, so we compare the partition of CORE
+// points (which is unique for DBSCAN regardless of visit order) plus total
+// membership counts of clusters when borders are unambiguous.
+func bruteCorePartition(objs []model.ObjPos, eps float64, minPts int) map[int32]int32 {
+	n := len(objs)
+	epsSq := eps * eps
+	nbrs := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if model.DistSq(objs[i], objs[j]) <= epsSq {
+				nbrs[i] = append(nbrs[i], j)
+			}
+		}
+	}
+	core := make([]bool, n)
+	for i := range nbrs {
+		core[i] = len(nbrs[i]) >= minPts
+	}
+	// Union core points that are within eps of each other.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for i := 0; i < n; i++ {
+		if !core[i] {
+			continue
+		}
+		for _, j := range nbrs[i] {
+			if core[j] {
+				union(i, j)
+			}
+		}
+	}
+	// Map each core point's OID to a canonical root OID.
+	out := map[int32]int32{}
+	rootOID := map[int]int32{}
+	for i := 0; i < n; i++ {
+		if !core[i] {
+			continue
+		}
+		r := find(i)
+		if _, ok := rootOID[r]; !ok || objs[i].OID < rootOID[r] {
+			rootOID[r] = objs[i].OID
+		}
+	}
+	for i := 0; i < n; i++ {
+		if core[i] {
+			out[objs[i].OID] = rootOID[find(i)]
+		}
+	}
+	return out
+}
+
+func TestCorePartitionMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		var objs []model.ObjPos
+		n := rng.Intn(60) + 5
+		for i := 0; i < n; i++ {
+			objs = append(objs, pos(int32(i), rng.Float64()*4, rng.Float64()*4))
+		}
+		eps := 0.3 + rng.Float64()*0.5
+		minPts := rng.Intn(4) + 2
+		want := bruteCorePartition(objs, eps, minPts)
+		clusters := Cluster(objs, eps, minPts)
+		// Every pair of core points with the same brute-force root must be in
+		// the same cluster, and pairs with different roots in different ones.
+		clusterOf := map[int32]int{}
+		for ci, c := range clusters {
+			for _, oid := range c {
+				clusterOf[oid] = ci
+			}
+		}
+		for a, ra := range want {
+			ca, ok := clusterOf[a]
+			if !ok {
+				t.Fatalf("trial %d: core point %d not clustered", trial, a)
+			}
+			for b, rb := range want {
+				cb := clusterOf[b]
+				if (ra == rb) != (ca == cb) {
+					t.Fatalf("trial %d: core grouping mismatch for %d,%d", trial, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestGridHandlesNegativeCoords(t *testing.T) {
+	objs := []model.ObjPos{
+		pos(1, -0.1, -0.1), pos(2, 0.1, 0.1), pos(3, -0.1, 0.1),
+	}
+	got := Cluster(objs, 0.5, 3)
+	if len(got) != 1 || len(got[0]) != 3 {
+		t.Fatalf("cells straddling the origin should still cluster: %v", got)
+	}
+}
+
+func TestClusterContaining(t *testing.T) {
+	objs := []model.ObjPos{
+		pos(10, 0, 0), pos(20, 0.1, 0), pos(30, 0.2, 0),
+	}
+	idxs := ClusterContaining(objs, 0.5, 3)
+	if len(idxs) != 1 || len(idxs[0]) != 3 {
+		t.Fatalf("ClusterContaining = %v", idxs)
+	}
+}
+
+func BenchmarkCluster1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	objs := make([]model.ObjPos, 1000)
+	for i := range objs {
+		objs[i] = pos(int32(i), rng.Float64()*100, rng.Float64()*100)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cluster(objs, 2.0, 3)
+	}
+}

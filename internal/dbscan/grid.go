@@ -1,0 +1,57 @@
+package dbscan
+
+import (
+	"math"
+
+	"repro/internal/model"
+)
+
+// grid is a uniform spatial hash over the input points with cell side eps.
+// All points within distance eps of a point p lie in the 3×3 block of cells
+// around p's cell.
+type grid struct {
+	objs  []model.ObjPos
+	eps   float64
+	cells map[cellKey][]int
+}
+
+type cellKey struct{ cx, cy int32 }
+
+func newGrid(objs []model.ObjPos, eps float64) *grid {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		// Degenerate radius: every point is only its own neighbour. Use a
+		// tiny positive cell so keys stay finite.
+		eps = math.SmallestNonzeroFloat64
+	}
+	g := &grid{objs: objs, eps: eps, cells: make(map[cellKey][]int, len(objs))}
+	for i, p := range objs {
+		k := g.key(p.X, p.Y)
+		g.cells[k] = append(g.cells[k], i)
+	}
+	return g
+}
+
+func (g *grid) key(x, y float64) cellKey {
+	return cellKey{cx: int32(math.Floor(x / g.eps)), cy: int32(math.Floor(y / g.eps))}
+}
+
+// neighbors appends to dst the indices of all points within eps of point i
+// (including i itself) and returns the extended slice.
+func (g *grid) neighbors(i int, epsSq float64, dst []int) []int {
+	p := g.objs[i]
+	center := g.key(p.X, p.Y)
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			bucket, ok := g.cells[cellKey{cx: center.cx + dx, cy: center.cy + dy}]
+			if !ok {
+				continue
+			}
+			for _, j := range bucket {
+				if model.DistSq(p, g.objs[j]) <= epsSq {
+					dst = append(dst, j)
+				}
+			}
+		}
+	}
+	return dst
+}

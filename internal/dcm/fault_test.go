@@ -1,0 +1,47 @@
+package dcm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mapreduce"
+	"repro/internal/minetest"
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/storage/storetest"
+)
+
+func TestDCMPropagatesFaults(t *testing.T) {
+	ds := minetest.BuildRanges([]minetest.Range{
+		{Start: 0, End: 19, Groups: [][]int32{{1, 2, 3}}},
+	})
+	for _, budget := range []int64{0, 5, 15} {
+		fs := storetest.NewFaultStore(storage.NewMemStore(ds), budget)
+		_, err := Mine(fs, Config{
+			M: 3, K: 4, Eps: minetest.Eps, Lambda: 5, Cluster: mapreduce.Local(3),
+		})
+		if !errors.Is(err, storetest.ErrInjected) {
+			t.Fatalf("budget %d: err = %v", budget, err)
+		}
+	}
+}
+
+func TestDedupeConvoysDomination(t *testing.T) {
+	big := model.NewConvoy(model.NewObjSet(1, 2, 3), 0, 10)
+	sub := model.NewConvoy(model.NewObjSet(1, 2), 2, 8)
+	other := model.NewConvoy(model.NewObjSet(4, 5), 0, 10)
+	out := dedupeConvoys([]model.Convoy{sub, big, other})
+	if len(out) != 2 {
+		t.Fatalf("dedupe = %v, want big+other", out)
+	}
+	for _, c := range out {
+		if c.Equal(sub) {
+			t.Fatalf("dominated convoy survived: %v", out)
+		}
+	}
+	// Reverse insertion order: dominator arriving second must evict.
+	out = dedupeConvoys([]model.Convoy{big, sub})
+	if len(out) != 1 || !out[0].Equal(big) {
+		t.Fatalf("dedupe reverse = %v", out)
+	}
+}

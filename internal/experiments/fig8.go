@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+
+	convoy "repro"
+	"repro/internal/datagen/tdrive"
+	"repro/internal/datagen/trucks"
+	"repro/internal/model"
+)
+
+func init() {
+	register("fig8a", func(s Scale) (Table, error) { return effectOfK(TDriveSpec(), "fig8a", s, true) })
+	register("fig8b", func(s Scale) (Table, error) { return effectOfK(BrinkhoffSpec(), "fig8b", s, false) })
+	register("fig8c", func(s Scale) (Table, error) { return effectOfM(TrucksSpec(), "fig8c", s, true) })
+	register("fig8d", func(s Scale) (Table, error) { return effectOfM(TDriveSpec(), "fig8d", s, true) })
+	register("fig8e", func(s Scale) (Table, error) { return effectOfM(BrinkhoffSpec(), "fig8e", s, false) })
+	register("fig8f", func(s Scale) (Table, error) { return effectOfEps(TrucksSpec(), "fig8f", s, true) })
+	register("fig8g", func(s Scale) (Table, error) { return effectOfEps(TDriveSpec(), "fig8g", s, true) })
+	register("fig8h", func(s Scale) (Table, error) { return effectOfEps(BrinkhoffSpec(), "fig8h", s, false) })
+	register("fig8i", fig8i)
+	register("fig8j", fig8j)
+	register("fig8k", fig8k)
+	register("fig8l", fig8l)
+}
+
+// seriesRow measures one parameter combination across the algorithm
+// line-up: VCoDA, VCoDA* (flat-file resident, as the sequential baselines
+// are), and the three k2-* storage variants.
+func seriesRow(ds *model.Dataset, p convoy.Params, withBaselines bool) ([]string, error) {
+	var cells []string
+	if withBaselines {
+		vc, err := MineOn(StoreFile, ds, p, &convoy.Options{Algorithm: convoy.VCoDA})
+		if err != nil {
+			return nil, err
+		}
+		vcs, err := MineOn(StoreFile, ds, p, &convoy.Options{Algorithm: convoy.VCoDAStar})
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, secs(vc.Duration), secs(vcs.Duration))
+	}
+	for _, kind := range []StoreKind{StoreFile, StoreRDBMS, StoreLSMT} {
+		r, err := MineOn(kind, ds, p, nil)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, secs(r.Duration))
+	}
+	return cells, nil
+}
+
+func seriesColumns(withBaselines bool) []string {
+	if withBaselines {
+		return []string{"VCoDA", "VCoDA*", "k2-File", "k2-RDBMS", "k2-LSMT"}
+	}
+	return []string{"k2-File", "k2-RDBMS", "k2-LSMT"}
+}
+
+// effectOfK reproduces Figs 7h/8a/8b: runtime of every algorithm as k
+// varies. The paper omits the VCoDA baselines on Brinkhoff because they
+// crashed (out of memory) at the paper's scale.
+func effectOfK(spec DatasetSpec, id string, s Scale, baselines bool) (Table, error) {
+	ds := spec.Build(s)
+	t := Table{
+		ID:      id,
+		Title:   fmt.Sprintf("Effect of varying k (%s)", spec.Name),
+		Columns: append([]string{"k"}, seriesColumns(baselines)...),
+		Notes:   "paper: VCoDA* flat with k; k2-* falls as k grows (more pruning)",
+	}
+	p := convoy.Params{M: spec.M, Eps: spec.Eps}
+	for _, k := range spec.Ks(ds) {
+		p.K = k
+		cells, err := seriesRow(ds, p, baselines)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, append([]string{itoa(k)}, cells...))
+	}
+	return t, nil
+}
+
+// effectOfM reproduces Figs 8c/8d/8e: runtime as m varies over {3,6,9}.
+func effectOfM(spec DatasetSpec, id string, s Scale, baselines bool) (Table, error) {
+	ds := spec.Build(s)
+	t := Table{
+		ID:      id,
+		Title:   fmt.Sprintf("Effect of varying m (%s)", spec.Name),
+		Columns: append([]string{"m"}, seriesColumns(baselines)...),
+		Notes:   "paper: k2-* speeds up with m (fewer candidate clusters)",
+	}
+	p := convoy.Params{K: spec.KMid(ds), Eps: spec.Eps}
+	for _, m := range []int{3, 6, 9} {
+		p.M = m
+		cells, err := seriesRow(ds, p, baselines)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, append([]string{itoa(m)}, cells...))
+	}
+	return t, nil
+}
+
+// effectOfEps reproduces Figs 8f/8g/8h: runtime as eps varies over
+// {0.3x, 1x, 3x} of the dataset's calibrated radius (the paper sweeps three
+// decades of geographic eps).
+func effectOfEps(spec DatasetSpec, id string, s Scale, baselines bool) (Table, error) {
+	ds := spec.Build(s)
+	t := Table{
+		ID:      id,
+		Title:   fmt.Sprintf("Effect of varying eps (%s)", spec.Name),
+		Columns: append([]string{"eps"}, seriesColumns(baselines)...),
+		Notes:   "paper: larger eps -> more clusters that never become convoys -> slower",
+	}
+	p := convoy.Params{M: spec.M, K: spec.KMid(ds)}
+	for _, f := range []float64{0.3, 1, 3} {
+		p.Eps = spec.Eps * f
+		cells, err := seriesRow(ds, p, baselines)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, append([]string{ftoa(p.Eps)}, cells...))
+	}
+	return t, nil
+}
+
+// fig8i reproduces the k2-LSMT phase breakdown: where the time goes as k
+// varies.
+func fig8i(s Scale) (Table, error) {
+	spec := TDriveSpec()
+	ds := spec.Build(s)
+	t := Table{
+		ID:      "fig8i",
+		Title:   "Execution time of k2-LSMT phases (T-Drive)",
+		Columns: []string{"k", "benchmark", "HWMT", "merge", "ext-right", "ext-left", "validate"},
+		Notes:   "paper: HWMT dominates, extension second",
+	}
+	p := convoy.Params{M: spec.M, Eps: spec.Eps}
+	for _, k := range spec.Ks(ds) {
+		p.K = k
+		r, err := MineOn(StoreLSMT, ds, p, nil)
+		if err != nil {
+			return t, err
+		}
+		rep := r.Report
+		if rep == nil {
+			return t, fmt.Errorf("fig8i: missing k2hop report")
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(k),
+			secs(rep.BenchmarkTime + rep.CandidateTime),
+			secs(rep.HWMTTime),
+			secs(rep.MergeTime),
+			secs(rep.ExtendRight),
+			secs(rep.ExtendLeft),
+			secs(rep.ValidateTime),
+		})
+	}
+	return t, nil
+}
+
+// fig8j reproduces the pre-validation convoy counts of k2-LSMT vs VCoDA.
+func fig8j(s Scale) (Table, error) {
+	spec := TDriveSpec()
+	ds := spec.Build(s)
+	t := Table{
+		ID:      "fig8j",
+		Title:   "Pre-validation convoys (T-Drive)",
+		Columns: []string{"k", "k2-LSMT", "VCoDA"},
+		Notes:   "paper: difference is small, so validation saves little",
+	}
+	p := convoy.Params{M: spec.M, Eps: spec.Eps}
+	for _, k := range spec.Ks(ds) {
+		p.K = k
+		k2, err := MineOn(StoreLSMT, ds, p, nil)
+		if err != nil {
+			return t, err
+		}
+		vc, err := MineMem(ds, p, &convoy.Options{Algorithm: convoy.VCoDA})
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{itoa(k), itoa(k2.PreVal), itoa(vc.PreVal)})
+	}
+	return t, nil
+}
+
+// fig8k reproduces the effect of convoy count: same Trucks-shaped dataset
+// with the dispatch-batch knob swept, mined by k2-RDBMS and k2-LSMT.
+func fig8k(s Scale) (Table, error) {
+	t := Table{
+		ID:      "fig8k",
+		Title:   "Effect of convoy count (Trucks)",
+		Columns: []string{"groups", "convoys", "k2-RDBMS", "k2-LSMT"},
+		Notes:   "paper: time generally grows with convoy count (less pruning)",
+	}
+	spec := TrucksSpec()
+	for _, groups := range []int{0, 1, 3, 6, 10} {
+		p := trucks.DefaultParams(1)
+		switch s {
+		case Tiny:
+			p.Trucks, p.Days, p.TicksPerDay = 25, 2, 120
+		case Small:
+			p.Trucks, p.Days, p.TicksPerDay = 50, 4, 250
+		case Mid:
+			p.Trucks, p.Days, p.TicksPerDay = 50, 8, 400
+		}
+		p.ConvoyGroups = groups
+		ds := trucks.Generate(p)
+		mp := convoy.Params{M: spec.M, K: spec.Ks(ds)[1], Eps: spec.Eps}
+		rdbms, err := MineOn(StoreRDBMS, ds, mp, nil)
+		if err != nil {
+			return t, err
+		}
+		lsmt, err := MineOn(StoreLSMT, ds, mp, nil)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(groups), itoa(len(rdbms.Convoys)),
+			secs(rdbms.Duration), secs(lsmt.Duration),
+		})
+	}
+	return t, nil
+}
+
+// fig8l reproduces data-size scalability: T-Drive-shaped datasets of
+// growing size, VCoDA* vs k2-RDBMS vs k2-LSMT.
+func fig8l(s Scale) (Table, error) {
+	t := Table{
+		ID:      "fig8l",
+		Title:   "Data size scalability (T-Drive shape)",
+		Columns: []string{"points", "VCoDA*", "k2-RDBMS", "k2-LSMT"},
+		Notes:   "paper: VCoDA* grows sharply with size, k2-* sub-linearly",
+	}
+	base := tdrive.DefaultParams(2)
+	switch s {
+	case Tiny:
+		base.Taxis, base.Ticks = 60, 120
+	case Small:
+		base.Taxis, base.Ticks = 200, 300
+	case Mid:
+		base.Taxis, base.Ticks = 400, 500
+	}
+	spec := TDriveSpec()
+	for _, mult := range []int{1, 2, 4} {
+		p := base
+		p.Taxis = base.Taxis * mult
+		ds := tdrive.Generate(p)
+		mp := convoy.Params{M: spec.M, K: spec.KMid(ds), Eps: spec.Eps}
+		vcs, err := MineOn(StoreFile, ds, mp, &convoy.Options{Algorithm: convoy.VCoDAStar})
+		if err != nil {
+			return t, err
+		}
+		rdbms, err := MineOn(StoreRDBMS, ds, mp, nil)
+		if err != nil {
+			return t, err
+		}
+		lsmt, err := MineOn(StoreLSMT, ds, mp, nil)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(ds.NumPoints()), secs(vcs.Duration), secs(rdbms.Duration), secs(lsmt.Duration),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"os"
+	"time"
+
+	convoy "repro"
+	"repro/internal/model"
+	"repro/internal/storage/flatfile"
+)
+
+// MineResult is one measured mining run.
+type MineResult struct {
+	Convoys  []model.Convoy
+	Duration time.Duration
+	Points   int64 // points read from the store
+	Report   *convoy.K2HopReport
+	PreVal   int
+}
+
+// MineOn runs an algorithm against a dataset materialised under a storage
+// engine and measures wall clock including all store I/O.
+//
+// StoreFile reproduces the paper's k2-File semantics: the flat file is
+// loaded into memory first (that cost is part of the measured time) and the
+// miner runs in memory — flat files have no index, so that is their best
+// strategy.
+func MineOn(kind StoreKind, ds *model.Dataset, params convoy.Params, opts *convoy.Options) (*MineResult, error) {
+	dir, err := os.MkdirTemp("", "k2exp")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	if kind == StoreFile {
+		path := dir + "/data.k2f"
+		if err := flatfile.WriteDataset(path, ds); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		fs, err := flatfile.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer fs.Close()
+		mem, err := fs.Load()
+		if err != nil {
+			return nil, err
+		}
+		res, err := convoy.MineDataset(mem, params, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &MineResult{
+			Convoys:  res.Convoys,
+			Duration: time.Since(start),
+			Points:   int64(mem.NumPoints()), // whole file touched
+			Report:   res.K2Hop,
+			PreVal:   res.PreValidation,
+		}, nil
+	}
+
+	st, cleanup, err := OpenStore(kind, ds, dir)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	res, err := convoy.Mine(st, params, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &MineResult{
+		Convoys:  res.Convoys,
+		Duration: res.Duration,
+		Points:   res.PointsProcessed,
+		Report:   res.K2Hop,
+		PreVal:   res.PreValidation,
+	}, nil
+}
+
+// MineMem runs an algorithm on the in-memory store.
+func MineMem(ds *model.Dataset, params convoy.Params, opts *convoy.Options) (*MineResult, error) {
+	res, err := convoy.MineDataset(ds, params, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &MineResult{
+		Convoys:  res.Convoys,
+		Duration: res.Duration,
+		Points:   res.PointsProcessed,
+		Report:   res.K2Hop,
+		PreVal:   res.PreValidation,
+	}, nil
+}

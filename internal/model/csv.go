@@ -1,0 +1,73 @@
+package model
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV import/export for the paper's physical schema <oid, x, y, t> (§3.2).
+// The column order follows the paper; an optional header row "oid,x,y,t" is
+// skipped on read. Real datasets (Trucks, T-Drive) ship as delimited text,
+// so this is the ingestion path a downstream user starts from.
+
+// ReadCSV parses points from r. Lines must have at least 4 fields
+// (oid, x, y, t); extra fields are ignored. A leading header row is
+// detected by a non-numeric first field and skipped.
+func ReadCSV(r io.Reader) ([]Point, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.ReuseRecord = true
+	cr.FieldsPerRecord = -1
+	var pts []Point
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return pts, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("model: csv line %d: %w", line+1, err)
+		}
+		line++
+		if len(rec) < 4 {
+			return nil, fmt.Errorf("model: csv line %d: want ≥4 fields, got %d", line, len(rec))
+		}
+		oid, err := strconv.ParseInt(rec[0], 10, 32)
+		if err != nil {
+			if line == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("model: csv line %d: oid: %w", line, err)
+		}
+		x, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("model: csv line %d: x: %w", line, err)
+		}
+		y, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("model: csv line %d: y: %w", line, err)
+		}
+		t, err := strconv.ParseInt(rec[3], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("model: csv line %d: t: %w", line, err)
+		}
+		pts = append(pts, Point{OID: int32(oid), X: x, Y: y, T: int32(t)})
+	}
+}
+
+// WriteCSV writes the dataset's points to w in (oid, x, y, t) order with a
+// header row.
+func WriteCSV(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("oid,x,y,t\n"); err != nil {
+		return err
+	}
+	for _, p := range ds.Points() {
+		if _, err := fmt.Fprintf(bw, "%d,%g,%g,%d\n", p.OID, p.X, p.Y, p.T); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

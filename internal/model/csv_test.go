@@ -1,0 +1,73 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := NewDataset([]Point{
+		{OID: 1, T: 0, X: 1.5, Y: -2.25},
+		{OID: 2, T: 0, X: 0, Y: 0},
+		{OID: 1, T: 1, X: 3, Y: 4},
+	})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := NewDataset(pts)
+	if got.NumPoints() != ds.NumPoints() {
+		t.Fatalf("round trip points = %d, want %d", got.NumPoints(), ds.NumPoints())
+	}
+	gp, wp := got.Points(), ds.Points()
+	for i := range gp {
+		if gp[i] != wp[i] {
+			t.Fatalf("point %d = %v, want %v", i, gp[i], wp[i])
+		}
+	}
+}
+
+func TestCSVHeaderOptional(t *testing.T) {
+	withHeader := "oid,x,y,t\n1,2.0,3.0,4\n"
+	noHeader := "1,2.0,3.0,4\n"
+	for _, in := range []string{withHeader, noHeader} {
+		pts, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if len(pts) != 1 || pts[0] != (Point{OID: 1, X: 2, Y: 3, T: 4}) {
+			t.Fatalf("%q: pts = %v", in, pts)
+		}
+	}
+}
+
+func TestCSVExtraFieldsIgnored(t *testing.T) {
+	pts, err := ReadCSV(strings.NewReader("7,1,2,3,extra,fields\n"))
+	if err != nil || len(pts) != 1 || pts[0].OID != 7 {
+		t.Fatalf("pts = %v, err = %v", pts, err)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []string{
+		"1,2,3\n",                   // too few fields
+		"1,x,3,4\n",                 // bad x
+		"1,2,y,4\n",                 // bad y
+		"1,2,3,t\n",                 // bad t
+		"1,2,3,4\nbad,row\n",        // short later row
+		"hdr,a,b,c\nnothdr,1,2,3\n", // non-numeric oid after header
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Fatalf("%q should fail", in)
+		}
+	}
+	if pts, err := ReadCSV(strings.NewReader("")); err != nil || len(pts) != 0 {
+		t.Fatalf("empty input: %v %v", pts, err)
+	}
+}

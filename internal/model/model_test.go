@@ -1,0 +1,389 @@
+package model
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewObjSetSortsAndDedupes(t *testing.T) {
+	s := NewObjSet(5, 1, 3, 1, 5, 2)
+	want := ObjSet{1, 2, 3, 5}
+	if !s.Equal(want) {
+		t.Fatalf("NewObjSet = %v, want %v", s, want)
+	}
+	if !s.Valid() {
+		t.Fatalf("NewObjSet produced invalid set %v", s)
+	}
+	if NewObjSet() != nil {
+		t.Fatalf("empty NewObjSet should be nil")
+	}
+}
+
+func TestObjSetContains(t *testing.T) {
+	s := NewObjSet(2, 4, 6, 8)
+	for _, id := range []int32{2, 4, 6, 8} {
+		if !s.Contains(id) {
+			t.Errorf("Contains(%d) = false, want true", id)
+		}
+	}
+	for _, id := range []int32{1, 3, 5, 7, 9, -1} {
+		if s.Contains(id) {
+			t.Errorf("Contains(%d) = true, want false", id)
+		}
+	}
+}
+
+func TestObjSetSubsetOf(t *testing.T) {
+	cases := []struct {
+		s, t ObjSet
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, NewObjSet(1), true},
+		{NewObjSet(1), nil, false},
+		{NewObjSet(1, 3), NewObjSet(1, 2, 3), true},
+		{NewObjSet(1, 4), NewObjSet(1, 2, 3), false},
+		{NewObjSet(1, 2, 3), NewObjSet(1, 2, 3), true},
+		{NewObjSet(0), NewObjSet(1, 2), false},
+	}
+	for _, c := range cases {
+		if got := c.s.SubsetOf(c.t); got != c.want {
+			t.Errorf("%v.SubsetOf(%v) = %v, want %v", c.s, c.t, got, c.want)
+		}
+	}
+}
+
+func TestObjSetIntersectUnionMinus(t *testing.T) {
+	a := NewObjSet(1, 2, 3, 5, 8)
+	b := NewObjSet(2, 3, 4, 8, 9)
+	if got := a.Intersect(b); !got.Equal(NewObjSet(2, 3, 8)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.IntersectSize(b); got != 3 {
+		t.Errorf("IntersectSize = %d, want 3", got)
+	}
+	if got := a.Union(b); !got.Equal(NewObjSet(1, 2, 3, 4, 5, 8, 9)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(NewObjSet(1, 5)) {
+		t.Errorf("Minus = %v", got)
+	}
+	if got := a.Intersect(nil); got != nil {
+		t.Errorf("Intersect(nil) = %v, want nil", got)
+	}
+}
+
+// Property: set operations agree with a map-based model.
+func TestObjSetOpsQuick(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		var ai, bi []int32
+		for _, x := range xs {
+			ai = append(ai, int32(x))
+		}
+		for _, y := range ys {
+			bi = append(bi, int32(y))
+		}
+		a, b := NewObjSet(ai...), NewObjSet(bi...)
+		am := map[int32]bool{}
+		bm := map[int32]bool{}
+		for _, x := range a {
+			am[x] = true
+		}
+		for _, y := range b {
+			bm[y] = true
+		}
+		inter := a.Intersect(b)
+		if !inter.Valid() {
+			return false
+		}
+		for _, x := range inter {
+			if !am[x] || !bm[x] {
+				return false
+			}
+		}
+		cnt := 0
+		for x := range am {
+			if bm[x] {
+				cnt++
+			}
+		}
+		if cnt != len(inter) || cnt != a.IntersectSize(b) {
+			return false
+		}
+		u := a.Union(b)
+		if !u.Valid() || len(u) != len(am)+len(bm)-cnt {
+			return false
+		}
+		m := a.Minus(b)
+		if !m.Valid() || len(m) != len(am)-cnt {
+			return false
+		}
+		return inter.SubsetOf(a) && inter.SubsetOf(b) && a.SubsetOf(u) && b.SubsetOf(u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalOps(t *testing.T) {
+	iv := Interval{Start: 3, End: 7}
+	if iv.Len() != 5 {
+		t.Errorf("Len = %d, want 5", iv.Len())
+	}
+	if (Interval{Start: 4, End: 3}).Len() != 0 {
+		t.Errorf("inverted interval should have Len 0")
+	}
+	if !iv.Contains(3) || !iv.Contains(7) || iv.Contains(8) || iv.Contains(2) {
+		t.Errorf("Contains boundary behaviour wrong")
+	}
+	if !iv.Overlaps(Interval{Start: 7, End: 10}) || iv.Overlaps(Interval{Start: 8, End: 10}) {
+		t.Errorf("Overlaps boundary behaviour wrong")
+	}
+	if !iv.ContainsInterval(Interval{Start: 3, End: 7}) || iv.ContainsInterval(Interval{Start: 2, End: 7}) {
+		t.Errorf("ContainsInterval wrong")
+	}
+}
+
+func TestConvoyOrdering(t *testing.T) {
+	a := NewConvoy(NewObjSet(1, 2, 3), 0, 9)
+	b := NewConvoy(NewObjSet(1, 2), 2, 8)
+	c := NewConvoy(NewObjSet(1, 4), 2, 8)
+	if !b.SubConvoyOf(a) || !b.StrictSubConvoyOf(a) {
+		t.Errorf("b should be strict sub-convoy of a")
+	}
+	if a.SubConvoyOf(b) {
+		t.Errorf("a should not be sub-convoy of b")
+	}
+	if c.SubConvoyOf(a) {
+		t.Errorf("c has object 4 not in a")
+	}
+	if !a.SubConvoyOf(a) || a.StrictSubConvoyOf(a) {
+		t.Errorf("reflexivity wrong")
+	}
+	if a.Len() != 10 || a.Size() != 3 {
+		t.Errorf("Len/Size wrong: %d %d", a.Len(), a.Size())
+	}
+}
+
+func TestSortConvoysCanonical(t *testing.T) {
+	cs := []Convoy{
+		NewConvoy(NewObjSet(2, 3), 1, 5),
+		NewConvoy(NewObjSet(1, 2), 0, 5),
+		NewConvoy(NewObjSet(1, 3), 1, 5),
+		NewConvoy(NewObjSet(1, 2, 3), 1, 4),
+	}
+	SortConvoys(cs)
+	if cs[0].Start != 0 {
+		t.Fatalf("first convoy should start at 0: %v", cs)
+	}
+	if !ConvoysEqual(
+		[]Convoy{NewConvoy(NewObjSet(1), 0, 1), NewConvoy(NewObjSet(2), 0, 1)},
+		[]Convoy{NewConvoy(NewObjSet(2), 0, 1), NewConvoy(NewObjSet(1), 0, 1)},
+	) {
+		t.Fatalf("ConvoysEqual should ignore order")
+	}
+	if ConvoysEqual(
+		[]Convoy{NewConvoy(NewObjSet(1), 0, 1)},
+		[]Convoy{NewConvoy(NewObjSet(1), 0, 2)},
+	) {
+		t.Fatalf("ConvoysEqual false positive")
+	}
+}
+
+func TestConvoySetUpdate(t *testing.T) {
+	s := NewConvoySet()
+	big := NewConvoy(NewObjSet(1, 2, 3), 0, 10)
+	small := NewConvoy(NewObjSet(1, 2), 2, 8)
+	if !s.Update(small) {
+		t.Fatalf("inserting into empty set should succeed")
+	}
+	if !s.Update(big) {
+		t.Fatalf("inserting superset should succeed")
+	}
+	if s.Len() != 1 || !s.Contains(big) {
+		t.Fatalf("superset should displace subset: %v", s.Slice())
+	}
+	if s.Update(small) {
+		t.Fatalf("re-inserting sub-convoy should be a no-op")
+	}
+	other := NewConvoy(NewObjSet(4, 5), 0, 10)
+	s.Update(other)
+	if s.Len() != 2 {
+		t.Fatalf("unrelated convoy should coexist")
+	}
+	if !s.Covers(small) || s.Covers(NewConvoy(NewObjSet(9), 0, 0)) {
+		t.Fatalf("Covers wrong")
+	}
+}
+
+// Property: after arbitrary updates, no member is a strict sub-convoy of
+// another, and every inserted convoy is covered.
+func TestConvoySetInvariantQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		s := NewConvoySet()
+		var inserted []Convoy
+		for i := 0; i < 30; i++ {
+			n := rng.Intn(4) + 1
+			ids := make([]int32, n)
+			for j := range ids {
+				ids[j] = int32(rng.Intn(6))
+			}
+			start := int32(rng.Intn(8))
+			end := start + int32(rng.Intn(8))
+			c := NewConvoy(NewObjSet(ids...), start, end)
+			s.Update(c)
+			inserted = append(inserted, c)
+		}
+		items := s.Slice()
+		for i := range items {
+			for j := range items {
+				if i != j && items[i].StrictSubConvoyOf(items[j]) {
+					t.Fatalf("iter %d: %v strict sub-convoy of %v", iter, items[i], items[j])
+				}
+				if i != j && items[i].Equal(items[j]) {
+					t.Fatalf("iter %d: duplicate %v", iter, items[i])
+				}
+			}
+		}
+		for _, c := range inserted {
+			if !s.Covers(c) {
+				t.Fatalf("iter %d: inserted convoy %v not covered", iter, c)
+			}
+		}
+	}
+}
+
+func TestMaximalConvoys(t *testing.T) {
+	in := []Convoy{
+		NewConvoy(NewObjSet(1, 2), 0, 5),
+		NewConvoy(NewObjSet(1, 2, 3), 0, 5),
+		NewConvoy(NewObjSet(1, 2), 0, 6),
+	}
+	out := MaximalConvoys(in)
+	if len(out) != 2 {
+		t.Fatalf("MaximalConvoys = %v, want 2 convoys", out)
+	}
+}
+
+func TestDatasetBasics(t *testing.T) {
+	pts := []Point{
+		{OID: 1, T: 5, X: 0, Y: 0},
+		{OID: 2, T: 5, X: 1, Y: 1},
+		{OID: 1, T: 6, X: 2, Y: 2},
+		{OID: 3, T: 7, X: 3, Y: 3},
+	}
+	d := NewDataset(pts)
+	ts, te := d.TimeRange()
+	if ts != 5 || te != 7 {
+		t.Fatalf("TimeRange = [%d,%d]", ts, te)
+	}
+	if d.NumPoints() != 4 || d.NumTimestamps() != 3 {
+		t.Fatalf("NumPoints=%d NumTimestamps=%d", d.NumPoints(), d.NumTimestamps())
+	}
+	snap := d.Snapshot(5)
+	if len(snap) != 2 || snap[0].OID != 1 || snap[1].OID != 2 {
+		t.Fatalf("Snapshot(5) = %v", snap)
+	}
+	if d.Snapshot(4) != nil || d.Snapshot(8) != nil {
+		t.Fatalf("out-of-range snapshot should be nil")
+	}
+	if got := d.Objects(); !got.Equal(NewObjSet(1, 2, 3)) {
+		t.Fatalf("Objects = %v", got)
+	}
+}
+
+func TestDatasetDedup(t *testing.T) {
+	d := NewDataset([]Point{
+		{OID: 1, T: 0, X: 1, Y: 1},
+		{OID: 1, T: 0, X: 9, Y: 9},
+	})
+	snap := d.Snapshot(0)
+	if len(snap) != 1 {
+		t.Fatalf("duplicate (oid,t) should be deduped: %v", snap)
+	}
+	if snap[0].X != 9 {
+		t.Fatalf("dedup should keep last occurrence, got %v", snap[0])
+	}
+}
+
+func TestDatasetFetch(t *testing.T) {
+	var pts []Point
+	for oid := int32(0); oid < 20; oid += 2 {
+		pts = append(pts, Point{OID: oid, T: 3, X: float64(oid), Y: 0})
+	}
+	d := NewDataset(pts)
+	got := d.Fetch(3, NewObjSet(0, 1, 2, 7, 18, 19))
+	if len(got) != 3 || got[0].OID != 0 || got[1].OID != 2 || got[2].OID != 18 {
+		t.Fatalf("Fetch = %v", got)
+	}
+	if d.Fetch(99, NewObjSet(1)) != nil {
+		t.Fatalf("Fetch out of range should be nil")
+	}
+}
+
+func TestDatasetRestrict(t *testing.T) {
+	var pts []Point
+	for t32 := int32(0); t32 < 10; t32++ {
+		for oid := int32(0); oid < 5; oid++ {
+			pts = append(pts, Point{OID: oid, T: t32, X: float64(oid), Y: float64(t32)})
+		}
+	}
+	d := NewDataset(pts)
+	r := d.Restrict(NewObjSet(1, 3), Interval{Start: 2, End: 4})
+	ts, te := r.TimeRange()
+	if ts != 2 || te != 4 || r.NumPoints() != 6 {
+		t.Fatalf("Restrict wrong: %v", r)
+	}
+	if got := r.Objects(); !got.Equal(NewObjSet(1, 3)) {
+		t.Fatalf("Restrict objects = %v", got)
+	}
+	// Clamping.
+	r2 := d.Restrict(NewObjSet(0), Interval{Start: -5, End: 100})
+	ts, te = r2.TimeRange()
+	if ts != 0 || te != 9 {
+		t.Fatalf("Restrict should clamp: [%d,%d]", ts, te)
+	}
+}
+
+func TestDatasetPointsRoundTrip(t *testing.T) {
+	pts := []Point{
+		{OID: 2, T: 1, X: 1, Y: 2},
+		{OID: 1, T: 0, X: 0, Y: 0},
+		{OID: 1, T: 1, X: 3, Y: 4},
+	}
+	d := NewDataset(pts)
+	got := d.Points()
+	want := []Point{
+		{OID: 1, T: 0, X: 0, Y: 0},
+		{OID: 1, T: 1, X: 3, Y: 4},
+		{OID: 2, T: 1, X: 1, Y: 2},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Points = %v, want %v", got, want)
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	d := NewDataset(nil)
+	ts, te := d.TimeRange()
+	if te >= ts {
+		t.Fatalf("empty dataset should have inverted range")
+	}
+	if d.NumTimestamps() != 0 || d.NumPoints() != 0 {
+		t.Fatalf("empty dataset counts wrong")
+	}
+}
+
+func TestDist(t *testing.T) {
+	a := ObjPos{X: 0, Y: 0}
+	b := ObjPos{X: 3, Y: 4}
+	if Dist(a, b) != 5 {
+		t.Fatalf("Dist = %f", Dist(a, b))
+	}
+	if DistSq(a, b) != 25 {
+		t.Fatalf("DistSq = %f", DistSq(a, b))
+	}
+}

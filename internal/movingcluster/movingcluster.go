@@ -1,0 +1,140 @@
+// Package movingcluster implements the moving-cluster pattern of Kalnis,
+// Mamoulis & Bakiras (SSTD'05), the second pattern the paper's §7 proposes
+// extending k/2-hop to.
+//
+// A moving cluster is a sequence of snapshot clusters c_t, c_{t+1}, … whose
+// consecutive Jaccard overlap |c_t ∩ c_{t+1}| / |c_t ∪ c_{t+1}| is at least
+// θ. Unlike convoys and flocks, the member set may churn completely over
+// the cluster's lifetime (θ < 1 lets the overlap decay to θ^h over h
+// steps), so the benchmark-point pruning argument — "the same objects must
+// be grouped at two consecutive benchmark points" — does not hold and a
+// k/2-hop-style miner would be unsound. This package therefore provides the
+// classical MC2 sweep miner only, and documents the boundary of the
+// k/2-hop technique: it transfers to patterns whose member set is fixed
+// over the lifetime (convoys, flocks, platoons), not to identity-churning
+// patterns.
+package movingcluster
+
+import (
+	"fmt"
+
+	"repro/internal/dbscan"
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+// Config carries the moving-cluster parameters.
+type Config struct {
+	// M and Eps parameterise the per-snapshot DBSCAN.
+	M   int
+	Eps float64
+	// Theta is the minimum Jaccard overlap between consecutive clusters.
+	Theta float64
+	// K is the minimum lifetime in timestamps.
+	K int
+}
+
+// MovingCluster is a mined pattern: the per-tick cluster sequence starting
+// at Start.
+type MovingCluster struct {
+	Start    int32
+	Clusters []model.ObjSet
+}
+
+// End returns the last timestamp of the pattern.
+func (mc MovingCluster) End() int32 { return mc.Start + int32(len(mc.Clusters)) - 1 }
+
+// Len returns the lifetime in timestamps.
+func (mc MovingCluster) Len() int { return len(mc.Clusters) }
+
+// Jaccard returns |a ∩ b| / |a ∪ b| (zero when both sets are empty).
+func Jaccard(a, b model.ObjSet) float64 {
+	inter := a.IntersectSize(b)
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Mine runs the MC2-style sweep: cluster every snapshot, chain clusters
+// whose consecutive overlap is ≥ θ, and emit maximal chains of length ≥ K.
+// A cluster extends at most one chain and each chain extends to at most one
+// cluster per tick (the best-overlap match, as in MC2) — ties break towards
+// the larger overlap, then the smaller cluster order.
+func Mine(store storage.Store, cfg Config) ([]MovingCluster, error) {
+	ts, te := store.TimeRange()
+	if te < ts {
+		return nil, nil
+	}
+	type chain struct {
+		start    int32
+		clusters []model.ObjSet
+	}
+	var (
+		active []*chain
+		out    []MovingCluster
+	)
+	emit := func(c *chain) {
+		if len(c.clusters) >= cfg.K {
+			out = append(out, MovingCluster{Start: c.start, Clusters: c.clusters})
+		}
+	}
+	for t := ts; t <= te; t++ {
+		snap, err := store.Snapshot(t)
+		if err != nil {
+			return nil, fmt.Errorf("movingcluster: snapshot %d: %w", t, err)
+		}
+		clusters := dbscan.Cluster(snap, cfg.Eps, cfg.M)
+		// Greedy best-overlap matching between active chains and clusters.
+		type match struct {
+			chain   int
+			cluster int
+			overlap float64
+		}
+		var matches []match
+		for ci, ch := range active {
+			last := ch.clusters[len(ch.clusters)-1]
+			for cj, cl := range clusters {
+				if ov := Jaccard(last, cl); ov >= cfg.Theta {
+					matches = append(matches, match{chain: ci, cluster: cj, overlap: ov})
+				}
+			}
+		}
+		// Sort by overlap descending (stable on insertion order).
+		for i := 1; i < len(matches); i++ {
+			for j := i; j > 0 && matches[j].overlap > matches[j-1].overlap; j-- {
+				matches[j], matches[j-1] = matches[j-1], matches[j]
+			}
+		}
+		chainTaken := make([]bool, len(active))
+		clusterTaken := make([]bool, len(clusters))
+		var next []*chain
+		for _, m := range matches {
+			if chainTaken[m.chain] || clusterTaken[m.cluster] {
+				continue
+			}
+			chainTaken[m.chain] = true
+			clusterTaken[m.cluster] = true
+			ch := active[m.chain]
+			ch.clusters = append(ch.clusters, clusters[m.cluster])
+			next = append(next, ch)
+		}
+		// Unmatched chains terminate; unmatched clusters start fresh chains.
+		for ci, ch := range active {
+			if !chainTaken[ci] {
+				emit(ch)
+			}
+		}
+		for cj, cl := range clusters {
+			if !clusterTaken[cj] {
+				next = append(next, &chain{start: t, clusters: []model.ObjSet{cl}})
+			}
+		}
+		active = next
+	}
+	for _, ch := range active {
+		emit(ch)
+	}
+	return out, nil
+}

@@ -1,0 +1,485 @@
+// Package lsm implements the paper's k2-LSMT storage variant: a
+// log-structured merge-tree (O'Neil et al.) keyed by the composite
+// (timestamp, oid) with the point coordinates as value (§5.2).
+//
+// Writes go to a WAL and a skiplist memtable; when the memtable exceeds its
+// budget it is flushed to an immutable SSTable (sorted blocks + block index
+// + bloom filter). A size-tiered compactor folds tables together when too
+// many runs accumulate. Benchmark-point reads are range scans (all keys of
+// one timestamp are co-located, one positioning per run); HWMT reads are
+// bloom-guarded point gets.
+package lsm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+// Options tunes the engine.
+type Options struct {
+	// MemtableBytes is the flush threshold (default 4 MiB).
+	MemtableBytes int
+	// MaxTables is the run count that triggers a full compaction
+	// (default 6).
+	MaxTables int
+	// SyncWAL forces an fsync per batch when true.
+	SyncWAL bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{MemtableBytes: 4 << 20, MaxTables: 6}
+	if o != nil {
+		if o.MemtableBytes > 0 {
+			out.MemtableBytes = o.MemtableBytes
+		}
+		if o.MaxTables > 1 {
+			out.MaxTables = o.MaxTables
+		}
+		out.SyncWAL = o.SyncWAL
+	}
+	return out
+}
+
+// DB is the LSM-tree database. It implements storage.Store.
+type DB struct {
+	mu     sync.Mutex
+	dir    string
+	opts   Options
+	wal    *wal
+	mem    *memtable
+	tables []*sstable // oldest first; later tables shadow earlier ones
+	seq    int
+	ts, te int32
+	count  uint64
+	stats  storage.IOStats
+	closed bool
+}
+
+const manifestName = "MANIFEST"
+
+// Open opens (or creates) an LSM database in dir.
+func Open(dir string, opts *Options) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lsm: mkdir: %w", err)
+	}
+	db := &DB{dir: dir, opts: opts.withDefaults(), mem: newMemtable(1), ts: 0, te: -1}
+	if err := db.loadManifest(); err != nil {
+		return nil, err
+	}
+	// Replay the WAL into the fresh memtable, then start a new log.
+	walPath := filepath.Join(dir, "wal.log")
+	if err := replayWAL(walPath, func(k, v []byte) {
+		db.mem.put(k, v)
+		db.noteKey(k)
+		db.count++
+	}); err != nil {
+		return nil, err
+	}
+	w, err := createWAL(walPath)
+	if err != nil {
+		return nil, err
+	}
+	db.wal = w
+	// Recompute bounds/counts from persistent tables.
+	for _, t := range db.tables {
+		db.count += t.count
+		if len(t.index) > 0 {
+			ft, _ := storage.DecodeKey(t.index[0].firstKey[:])
+			db.noteT(ft)
+			// Last key requires reading the last block; cheap and done once.
+			lb, err := t.readBlock(len(t.index)-1, nil)
+			if err != nil {
+				return nil, err
+			}
+			lastRec := lb[(int(t.index[len(t.index)-1].count)-1)*storage.RecordSize:]
+			lt, _ := storage.DecodeKey(lastRec[:storage.KeySize])
+			db.noteT(lt)
+		}
+	}
+	return db, nil
+}
+
+func (db *DB) noteKey(k []byte) {
+	t, _ := storage.DecodeKey(k)
+	db.noteT(t)
+}
+
+func (db *DB) noteT(t int32) {
+	if db.te < db.ts { // empty
+		db.ts, db.te = t, t
+		return
+	}
+	if t < db.ts {
+		db.ts = t
+	}
+	if t > db.te {
+		db.te = t
+	}
+}
+
+func (db *DB) loadManifest() error {
+	data, err := os.ReadFile(filepath.Join(db.dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("lsm: read manifest: %w", err)
+	}
+	for _, name := range strings.Fields(string(data)) {
+		t, err := openSSTable(filepath.Join(db.dir, name))
+		if err != nil {
+			return err
+		}
+		db.tables = append(db.tables, t)
+		var n int
+		fmt.Sscanf(name, "sst-%d.sst", &n)
+		if n >= db.seq {
+			db.seq = n + 1
+		}
+	}
+	return nil
+}
+
+// writeManifest atomically records the current table list.
+func (db *DB) writeManifest() error {
+	var b strings.Builder
+	for _, t := range db.tables {
+		fmt.Fprintln(&b, filepath.Base(t.path))
+	}
+	tmp := filepath.Join(db.dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(db.dir, manifestName))
+}
+
+// Put inserts one point.
+func (db *DB) Put(p model.Point) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return errors.New("lsm: db closed")
+	}
+	key := storage.EncodeKey(p.T, p.OID)
+	val := storage.EncodeValue(p.X, p.Y)
+	if err := db.wal.append(key[:], val[:]); err != nil {
+		return err
+	}
+	if db.opts.SyncWAL {
+		if err := db.wal.sync(); err != nil {
+			return err
+		}
+	}
+	db.mem.put(key[:], val[:])
+	db.noteT(p.T)
+	db.count++
+	if db.mem.bytes() >= db.opts.MemtableBytes {
+		return db.flushLocked()
+	}
+	return nil
+}
+
+// PutBatch inserts points with one WAL flush at the end.
+func (db *DB) PutBatch(pts []model.Point) error {
+	for _, p := range pts {
+		if err := db.Put(p); err != nil {
+			return err
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.wal.sync()
+}
+
+// Flush forces the memtable to disk.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.flushLocked()
+}
+
+func (db *DB) flushLocked() error {
+	if db.mem.len() == 0 {
+		return nil
+	}
+	name := fmt.Sprintf("sst-%06d.sst", db.seq)
+	db.seq++
+	path := filepath.Join(db.dir, name)
+	if err := writeSSTable(path, db.mem.iterator(nil)); err != nil {
+		return err
+	}
+	t, err := openSSTable(path)
+	if err != nil {
+		return err
+	}
+	db.tables = append(db.tables, t)
+	if err := db.writeManifest(); err != nil {
+		return err
+	}
+	// Reset WAL + memtable: flushed data is durable in the sstable.
+	if err := db.wal.close(); err != nil {
+		return err
+	}
+	w, err := createWAL(filepath.Join(db.dir, "wal.log"))
+	if err != nil {
+		return err
+	}
+	db.wal = w
+	db.mem = newMemtable(int64(db.seq))
+	if len(db.tables) > db.opts.MaxTables {
+		return db.compactLocked()
+	}
+	return nil
+}
+
+// Compact merges all runs into one.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.compactLocked()
+}
+
+func (db *DB) compactLocked() error {
+	if len(db.tables) <= 1 {
+		return nil
+	}
+	its := make([]kvIterator, len(db.tables))
+	for i, t := range db.tables {
+		// Older tables first; mergeIter resolves duplicates toward the
+		// higher (newer) source index.
+		its[i] = t.iterator(nil, nil)
+	}
+	merged := newMergeIter(its)
+	name := fmt.Sprintf("sst-%06d.sst", db.seq)
+	db.seq++
+	path := filepath.Join(db.dir, name)
+	if err := writeSSTable(path, merged); err != nil {
+		return err
+	}
+	nt, err := openSSTable(path)
+	if err != nil {
+		return err
+	}
+	old := db.tables
+	db.tables = []*sstable{nt}
+	if err := db.writeManifest(); err != nil {
+		return err
+	}
+	for _, t := range old {
+		t.close()
+		os.Remove(t.path)
+	}
+	return nil
+}
+
+// Get returns the value bytes for (t, oid) or nil if absent.
+func (db *DB) Get(t, oid int32) ([]byte, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := storage.EncodeKey(t, oid)
+	if v := db.mem.get(key[:]); v != nil {
+		return v, nil
+	}
+	for i := len(db.tables) - 1; i >= 0; i-- {
+		v, err := db.tables[i].get(key[:], &db.stats)
+		if err != nil {
+			return nil, err
+		}
+		if v != nil {
+			return v, nil
+		}
+	}
+	return nil, nil
+}
+
+// TimeRange implements storage.Store.
+func (db *DB) TimeRange() (int32, int32) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.ts, db.te
+}
+
+// Count returns the number of inserted points (before dedup by key).
+func (db *DB) Count() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.count
+}
+
+// Stats implements storage.Store.
+func (db *DB) Stats() *storage.IOStats { return &db.stats }
+
+// Snapshot implements storage.Store: one merged range scan across runs over
+// the key prefix of timestamp t.
+func (db *DB) Snapshot(t int32) ([]model.ObjPos, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.te < db.ts || t < db.ts || t > db.te {
+		return nil, nil
+	}
+	start := storage.EncodeKey(t, -1<<31)
+	its := make([]kvIterator, 0, len(db.tables)+1)
+	for _, tab := range db.tables {
+		its = append(its, tab.iterator(start[:], &db.stats))
+	}
+	its = append(its, db.mem.iterator(start[:]))
+	merged := newMergeIter(its)
+	var out []model.ObjPos
+	for ; merged.valid(); merged.next() {
+		kt, oid := storage.DecodeKey(merged.key())
+		if kt != t {
+			break
+		}
+		x, y := storage.DecodeValue(merged.value())
+		out = append(out, model.ObjPos{OID: oid, X: x, Y: y})
+		db.stats.AddScanned(1)
+	}
+	if err := merged.err(); err != nil {
+		return nil, err
+	}
+	db.stats.AddScan(len(out))
+	return out, nil
+}
+
+// Fetch implements storage.Store: bloom-guarded point gets.
+func (db *DB) Fetch(t int32, oids model.ObjSet) ([]model.ObjPos, error) {
+	if len(oids) == 0 {
+		return nil, nil
+	}
+	out := make([]model.ObjPos, 0, len(oids))
+	for _, oid := range oids {
+		v, err := db.Get(t, oid)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			continue
+		}
+		x, y := storage.DecodeValue(v)
+		out = append(out, model.ObjPos{OID: oid, X: x, Y: y})
+	}
+	db.stats.AddPointQueries(len(oids), len(out))
+	db.stats.AddScanned(len(out))
+	return out, nil
+}
+
+// Close flushes and closes the database.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	var firstErr error
+	if err := db.wal.sync(); err != nil {
+		firstErr = err
+	}
+	if err := db.wal.close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	for _, t := range db.tables {
+		if err := t.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// NumTables returns the current number of on-disk runs (for tests).
+func (db *DB) NumTables() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.tables)
+}
+
+// WriteDataset bulk-loads ds into a fresh database at dir.
+func WriteDataset(dir string, ds *model.Dataset, opts *Options) error {
+	db, err := Open(dir, opts)
+	if err != nil {
+		return err
+	}
+	if err := db.PutBatch(ds.Points()); err != nil {
+		db.Close()
+		return err
+	}
+	if err := db.Flush(); err != nil {
+		db.Close()
+		return err
+	}
+	if err := db.Compact(); err != nil {
+		db.Close()
+		return err
+	}
+	return db.Close()
+}
+
+// mergeIter merges several sorted iterators; on duplicate keys the source
+// with the LARGEST slice index wins (callers order sources oldest→newest,
+// memtable last).
+type mergeIter struct {
+	srcs []kvIterator
+	cur  int // index of current winning source, -1 when exhausted
+}
+
+func newMergeIter(srcs []kvIterator) *mergeIter {
+	m := &mergeIter{srcs: srcs, cur: -1}
+	m.advance()
+	return m
+}
+
+// advance selects the smallest current key (ties → newest source) after
+// first skipping, in all older sources, keys equal to the previous winner.
+func (m *mergeIter) advance() {
+	m.cur = -1
+	var best []byte
+	for i, it := range m.srcs {
+		if it == nil || !it.valid() {
+			continue
+		}
+		k := it.key()
+		if best == nil || bytes.Compare(k, best) < 0 || (bytes.Equal(k, best) && i > m.cur) {
+			best = k
+			m.cur = i
+		}
+	}
+	if m.cur < 0 {
+		return
+	}
+	// Skip duplicates of the winning key in all other sources so that next()
+	// never yields the same key twice.
+	for i, it := range m.srcs {
+		if i == m.cur || it == nil {
+			continue
+		}
+		for it.valid() && bytes.Equal(it.key(), best) {
+			it.next()
+		}
+	}
+}
+
+func (m *mergeIter) valid() bool   { return m.cur >= 0 }
+func (m *mergeIter) key() []byte   { return m.srcs[m.cur].key() }
+func (m *mergeIter) value() []byte { return m.srcs[m.cur].value() }
+func (m *mergeIter) next() {
+	m.srcs[m.cur].next()
+	m.advance()
+}
+
+// err returns the first error any sstable source hit.
+func (m *mergeIter) err() error {
+	for _, it := range m.srcs {
+		if s, ok := it.(*sstIter); ok && s.err != nil {
+			return s.err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,491 @@
+package lsm
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/storage/storetest"
+)
+
+var _ storage.Store = (*DB)(nil)
+
+func TestConformance(t *testing.T) {
+	ds := storetest.RandomDataset(20, 40, 30, 0.8)
+	dir := t.TempDir()
+	if err := WriteDataset(dir, ds, nil); err != nil {
+		t.Fatalf("WriteDataset: %v", err)
+	}
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer db.Close()
+	storetest.Run(t, db, ds)
+}
+
+func TestConformanceManySmallTables(t *testing.T) {
+	// Tiny memtable forces many flushes; MaxTables large enough to avoid
+	// compaction so reads must merge across runs.
+	ds := storetest.RandomDataset(21, 25, 25, 0.7)
+	dir := t.TempDir()
+	db, err := Open(dir, &Options{MemtableBytes: 2048, MaxTables: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutBatch(ds.Points()); err != nil {
+		t.Fatal(err)
+	}
+	if db.NumTables() < 3 {
+		t.Fatalf("expected several sstables, got %d", db.NumTables())
+	}
+	storetest.Run(t, db, ds)
+	db.Close()
+}
+
+func TestMemtableVisibleBeforeFlush(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Put(model.Point{OID: 7, T: 3, X: 1.5, Y: 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Fetch(3, model.NewObjSet(7))
+	if err != nil || len(rows) != 1 || rows[0].X != 1.5 {
+		t.Fatalf("Fetch from memtable = %v, %v", rows, err)
+	}
+	snap, err := db.Snapshot(3)
+	if err != nil || len(snap) != 1 {
+		t.Fatalf("Snapshot from memtable = %v, %v", snap, err)
+	}
+}
+
+func TestOverwriteAcrossRuns(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, &Options{MaxTables: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Put(model.Point{OID: 1, T: 1, X: 1, Y: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put(model.Point{OID: 1, T: 1, X: 2, Y: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Newest run must win for both point get and snapshot scan.
+	rows, err := db.Fetch(1, model.NewObjSet(1))
+	if err != nil || len(rows) != 1 || rows[0].X != 2 {
+		t.Fatalf("Fetch overwrite = %v, %v", rows, err)
+	}
+	snap, err := db.Snapshot(1)
+	if err != nil || len(snap) != 1 || snap[0].X != 2 {
+		t.Fatalf("Snapshot overwrite = %v, %v", snap, err)
+	}
+	// After compaction the value must survive.
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if db.NumTables() != 1 {
+		t.Fatalf("compaction should leave one table, got %d", db.NumTables())
+	}
+	rows, err = db.Fetch(1, model.NewObjSet(1))
+	if err != nil || len(rows) != 1 || rows[0].X != 2 {
+		t.Fatalf("post-compaction Fetch = %v, %v", rows, err)
+	}
+}
+
+func TestWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []model.Point{
+		{OID: 1, T: 0, X: 1, Y: 1},
+		{OID: 2, T: 0, X: 2, Y: 2},
+		{OID: 1, T: 1, X: 3, Y: 3},
+	}
+	if err := db.PutBatch(pts); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: no Flush, no Close; the WAL holds everything.
+	db.wal.sync()
+
+	db2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	rows, err := db2.Fetch(1, model.NewObjSet(1))
+	if err != nil || len(rows) != 1 || rows[0].X != 3 {
+		t.Fatalf("recovered Fetch = %v, %v", rows, err)
+	}
+	if got := db2.Count(); got != 3 {
+		t.Fatalf("recovered Count = %d", got)
+	}
+}
+
+func TestWALTornTailIgnored(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutBatch([]model.Point{{OID: 1, T: 0, X: 1, Y: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	db.wal.sync()
+	// Append garbage to the WAL to simulate a torn write.
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{1, 2, 3})
+	f.Close()
+
+	db2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatalf("reopen with torn wal: %v", err)
+	}
+	defer db2.Close()
+	rows, err := db2.Fetch(0, model.NewObjSet(1))
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("intact prefix should replay: %v, %v", rows, err)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	ds := storetest.RandomDataset(22, 30, 20, 0.9)
+	dir := t.TempDir()
+	if err := WriteDataset(dir, ds, &Options{MemtableBytes: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	storetest.Run(t, db, ds)
+}
+
+func TestAutoCompactionTriggers(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, &Options{MemtableBytes: 1024, MaxTables: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 2000; i++ {
+		if err := db.Put(model.Point{OID: int32(i % 50), T: int32(i / 50), X: float64(i), Y: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.NumTables() > 4 {
+		t.Fatalf("auto compaction did not bound runs: %d", db.NumTables())
+	}
+}
+
+func TestPutAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if err := db.Put(model.Point{}); err == nil {
+		t.Fatalf("Put after Close should fail")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("double Close should be nil, got %v", err)
+	}
+}
+
+// Property: the whole DB behaves like a map under random puts with
+// overwrites, random flushes and compactions.
+func TestDBMatchesMapModel(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, &Options{MemtableBytes: 4096, MaxTables: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rng := rand.New(rand.NewSource(77))
+	type key struct{ t, oid int32 }
+	modelMap := map[key][2]float64{}
+	for i := 0; i < 3000; i++ {
+		k := key{t: int32(rng.Intn(40)), oid: int32(rng.Intn(40))}
+		v := [2]float64{rng.Float64(), rng.Float64()}
+		modelMap[k] = v
+		if err := db.Put(model.Point{OID: k.oid, T: k.t, X: v[0], Y: v[1]}); err != nil {
+			t.Fatal(err)
+		}
+		if i%701 == 700 {
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%1303 == 1302 {
+			if err := db.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for k, v := range modelMap {
+		rows, err := db.Fetch(k.t, model.NewObjSet(k.oid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 1 || rows[0].X != v[0] || rows[0].Y != v[1] {
+			t.Fatalf("Fetch(%v) = %v, want %v", k, rows, v)
+		}
+	}
+	// Snapshot per timestamp equals the model's row set.
+	for tt := int32(0); tt < 40; tt++ {
+		var want int
+		for k := range modelMap {
+			if k.t == tt {
+				want++
+			}
+		}
+		snap, err := db.Snapshot(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snap) != want {
+			t.Fatalf("Snapshot(%d) = %d rows, want %d", tt, len(snap), want)
+		}
+		for i := 1; i < len(snap); i++ {
+			if snap[i-1].OID >= snap[i].OID {
+				t.Fatalf("Snapshot(%d) not sorted by OID", tt)
+			}
+		}
+	}
+}
+
+func TestBloomFilter(t *testing.T) {
+	f := newBloom(1000)
+	keys := make([][]byte, 1000)
+	for i := range keys {
+		k := storage.EncodeKey(int32(i), int32(i*7))
+		keys[i] = append([]byte(nil), k[:]...)
+		f.add(keys[i])
+	}
+	for _, k := range keys {
+		if !f.mayContain(k) {
+			t.Fatalf("bloom false negative for %v", k)
+		}
+	}
+	// False-positive rate should be small.
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		k := storage.EncodeKey(int32(i+100000), int32(i))
+		if f.mayContain(k[:]) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.05 {
+		t.Fatalf("bloom false-positive rate too high: %f", rate)
+	}
+}
+
+func TestBloomRoundTripBytes(t *testing.T) {
+	f := newBloom(10)
+	k := []byte("12345678")
+	f.add(k)
+	g := bloomFromBytes(f.bits)
+	if !g.mayContain(k) {
+		t.Fatalf("persisted bloom lost key")
+	}
+}
+
+func TestMemtableOrderedIteration(t *testing.T) {
+	m := newMemtable(1)
+	rng := rand.New(rand.NewSource(9))
+	n := 500
+	for i := 0; i < n; i++ {
+		k := storage.EncodeKey(int32(rng.Intn(100)), int32(rng.Intn(100)))
+		v := storage.EncodeValue(float64(i), 0)
+		m.put(k[:], v[:])
+	}
+	var prev []byte
+	count := 0
+	for it := m.iterator(nil); it.valid(); it.next() {
+		if prev != nil && bytes.Compare(prev, it.key()) >= 0 {
+			t.Fatalf("memtable iteration out of order")
+		}
+		prev = append(prev[:0], it.key()...)
+		count++
+	}
+	if count != m.len() {
+		t.Fatalf("iterated %d, len %d", count, m.len())
+	}
+}
+
+func TestMemtableSeek(t *testing.T) {
+	m := newMemtable(2)
+	for _, tt := range []int32{10, 20, 30} {
+		k := storage.EncodeKey(tt, 0)
+		v := storage.EncodeValue(0, 0)
+		m.put(k[:], v[:])
+	}
+	start := storage.EncodeKey(15, 0)
+	it := m.iterator(start[:])
+	if !it.valid() {
+		t.Fatalf("seek should find 20")
+	}
+	kt, _ := storage.DecodeKey(it.key())
+	if kt != 20 {
+		t.Fatalf("seek landed on %d, want 20", kt)
+	}
+}
+
+func TestSSTableGarbageRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.sst")
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openSSTable(path); err == nil {
+		t.Fatalf("openSSTable of garbage should fail")
+	}
+	big := make([]byte, 1000)
+	if err := os.WriteFile(path, big, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openSSTable(path); err == nil {
+		t.Fatalf("openSSTable of zeros should fail")
+	}
+}
+
+func TestMergeIterNewestWins(t *testing.T) {
+	old := newMemtable(1)
+	newer := newMemtable(2)
+	k := storage.EncodeKey(1, 1)
+	vo := storage.EncodeValue(1, 0)
+	vn := storage.EncodeValue(2, 0)
+	old.put(k[:], vo[:])
+	newer.put(k[:], vn[:])
+	k2 := storage.EncodeKey(0, 5)
+	v2 := storage.EncodeValue(9, 0)
+	old.put(k2[:], v2[:])
+
+	m := newMergeIter([]kvIterator{old.iterator(nil), newer.iterator(nil)})
+	var got []float64
+	for ; m.valid(); m.next() {
+		x, _ := storage.DecodeValue(m.value())
+		got = append(got, x)
+	}
+	if len(got) != 2 || got[0] != 9 || got[1] != 2 {
+		t.Fatalf("merge output = %v, want [9 2]", got)
+	}
+}
+
+func TestSSTableSparseKeySpace(t *testing.T) {
+	// Keys far apart stress blockFor's boundary handling.
+	dir := t.TempDir()
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 1000; i++ {
+		if err := db.Put(model.Point{OID: int32(i * 1000), T: int32(i * 100), X: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1, 499, 998, 999} {
+		rows, err := db.Fetch(int32(i*100), model.NewObjSet(int32(i*1000)))
+		if err != nil || len(rows) != 1 || rows[0].X != float64(i) {
+			t.Fatalf("Fetch %d = %v, %v", i, rows, err)
+		}
+	}
+	// Absent keys below the first and above the last key.
+	if rows, _ := db.Fetch(-50, model.NewObjSet(1)); len(rows) != 0 {
+		t.Fatalf("fetch below range should be empty")
+	}
+	if rows, _ := db.Fetch(1<<30, model.NewObjSet(1)); len(rows) != 0 {
+		t.Fatalf("fetch above range should be empty")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	ds := storetest.RandomDataset(23, 20, 10, 1.0)
+	dir := t.TempDir()
+	if err := WriteDataset(dir, ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Snapshot(5); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats().Snapshot()
+	if st.SnapshotScans != 1 || st.PointsRead != 20 {
+		t.Fatalf("scan stats: %+v", st)
+	}
+	db.Stats().Reset()
+	if _, err := db.Fetch(5, model.NewObjSet(0, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	st = db.Stats().Snapshot()
+	if st.PointQueries != 3 || st.PointsRead != 3 {
+		t.Fatalf("fetch stats: %+v", st)
+	}
+}
+
+func TestManifestSurvivesTmpFile(t *testing.T) {
+	// A leftover MANIFEST.tmp must not break opening.
+	ds := storetest.RandomDataset(24, 5, 5, 1.0)
+	dir := t.TempDir()
+	if err := WriteDataset(dir, ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName+".tmp"), []byte("junk\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatalf("Open with stale tmp: %v", err)
+	}
+	db.Close()
+}
+
+func BenchmarkPointGet(b *testing.B) {
+	dir := b.TempDir()
+	db, err := Open(dir, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 100000; i++ {
+		db.Put(model.Point{OID: int32(i % 1000), T: int32(i / 1000), X: float64(i)})
+	}
+	db.Flush()
+	db.Compact()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Get(int32(i%100), int32(i%1000))
+	}
+}

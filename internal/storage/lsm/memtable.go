@@ -1,0 +1,106 @@
+package lsm
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+// memtable is an in-memory ordered map from keys to values implemented as a
+// skiplist, the standard LSM write buffer. Single-writer, multi-reader use
+// is coordinated by the owning DB's mutex.
+type memtable struct {
+	head   *skipNode
+	rng    *rand.Rand
+	level  int
+	n      int
+	byteSz int
+}
+
+const maxLevel = 16
+
+type skipNode struct {
+	key, val []byte
+	next     [maxLevel]*skipNode
+}
+
+func newMemtable(seed int64) *memtable {
+	return &memtable{head: &skipNode{}, rng: rand.New(rand.NewSource(seed)), level: 1}
+}
+
+func (m *memtable) randomLevel() int {
+	lvl := 1
+	for lvl < maxLevel && m.rng.Intn(4) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// put inserts or overwrites key → val. Both slices are copied.
+func (m *memtable) put(key, val []byte) {
+	var update [maxLevel]*skipNode
+	x := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	if nxt := x.next[0]; nxt != nil && bytes.Equal(nxt.key, key) {
+		m.byteSz += len(val) - len(nxt.val)
+		nxt.val = append([]byte(nil), val...)
+		return
+	}
+	lvl := m.randomLevel()
+	if lvl > m.level {
+		for i := m.level; i < lvl; i++ {
+			update[i] = m.head
+		}
+		m.level = lvl
+	}
+	node := &skipNode{key: append([]byte(nil), key...), val: append([]byte(nil), val...)}
+	for i := 0; i < lvl; i++ {
+		node.next[i] = update[i].next[i]
+		update[i].next[i] = node
+	}
+	m.n++
+	m.byteSz += len(key) + len(val) + 32
+}
+
+// get returns the value for key, or nil if absent.
+func (m *memtable) get(key []byte) []byte {
+	x := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+	}
+	if nxt := x.next[0]; nxt != nil && bytes.Equal(nxt.key, key) {
+		return nxt.val
+	}
+	return nil
+}
+
+// len returns the number of entries.
+func (m *memtable) len() int { return m.n }
+
+// bytes returns the approximate heap footprint, used for flush triggering.
+func (m *memtable) bytes() int { return m.byteSz }
+
+// iterator returns a memIter positioned at the first key ≥ start.
+func (m *memtable) iterator(start []byte) *memIter {
+	x := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, start) < 0 {
+			x = x.next[i]
+		}
+	}
+	return &memIter{node: x.next[0]}
+}
+
+// memIter walks the skiplist in key order.
+type memIter struct{ node *skipNode }
+
+func (it *memIter) valid() bool   { return it.node != nil }
+func (it *memIter) key() []byte   { return it.node.key }
+func (it *memIter) value() []byte { return it.node.val }
+func (it *memIter) next()         { it.node = it.node.next[0] }

@@ -1,0 +1,390 @@
+package lsm
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// SSTable layout (all integers little-endian):
+//
+//	data blocks : blockRecs × (key[8] | value[16]) each (last may be short)
+//	index block : numBlocks × (firstKey[8] | u64 offset | u32 count)
+//	bloom block : bit array
+//	footer      : u64 indexOff | u32 numBlocks | u64 bloomOff | u32 bloomLen
+//	              u64 recordCount | magic "K2SS"
+//
+// Records within and across blocks are sorted ascending by key and unique.
+const (
+	blockRecs  = 170 // ≈4KB data blocks
+	footerSize = 8 + 4 + 8 + 4 + 8 + 4
+	sstMagic   = "K2SS"
+)
+
+type blockMeta struct {
+	firstKey [storage.KeySize]byte
+	off      uint64
+	count    uint32
+}
+
+// sstable is an immutable on-disk run of sorted records.
+type sstable struct {
+	f      *os.File
+	path   string
+	index  []blockMeta
+	filter *bloom
+	count  uint64
+	// reads counts physical block reads for I/O accounting.
+	reads int64
+	// cache holds recently read data blocks (clock eviction). Point-query
+	// workloads like HWMT hit the same blocks repeatedly; without a cache
+	// every get would pay a 4 KiB pread.
+	cache map[int][]byte
+	clock []int
+	hand  int
+}
+
+// blockCacheCap bounds the per-table block cache (≈1 MiB of 4 KiB blocks).
+const blockCacheCap = 256
+
+// writeSSTable streams sorted (key, val) pairs from it into a new table
+// file at path.
+func writeSSTable(path string, it kvIterator) (retErr error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("lsm: create sstable: %w", err)
+	}
+	defer func() {
+		if retErr != nil {
+			f.Close()
+			os.Remove(path)
+		}
+	}()
+	w := bufio.NewWriterSize(f, 1<<20)
+	var (
+		index   []blockMeta
+		keys    [][]byte
+		inBlock uint32
+		off     uint64
+		cur     blockMeta
+		total   uint64
+		prev    []byte
+	)
+	flushBlock := func() {
+		if inBlock == 0 {
+			return
+		}
+		cur.count = inBlock
+		index = append(index, cur)
+		inBlock = 0
+	}
+	for ; it.valid(); it.next() {
+		k, v := it.key(), it.value()
+		if prev != nil && bytes.Compare(k, prev) <= 0 {
+			return fmt.Errorf("lsm: sstable writer got out-of-order key")
+		}
+		prev = append(prev[:0], k...)
+		if inBlock == 0 {
+			copy(cur.firstKey[:], k)
+			cur.off = off
+		}
+		if _, err := w.Write(k); err != nil {
+			return err
+		}
+		if _, err := w.Write(v); err != nil {
+			return err
+		}
+		off += storage.RecordSize
+		inBlock++
+		total++
+		keys = append(keys, append([]byte(nil), k...))
+		if inBlock == blockRecs {
+			flushBlock()
+		}
+	}
+	flushBlock()
+	indexOff := off
+	for _, bm := range index {
+		if _, err := w.Write(bm.firstKey[:]); err != nil {
+			return err
+		}
+		var tail [12]byte
+		binary.LittleEndian.PutUint64(tail[0:8], bm.off)
+		binary.LittleEndian.PutUint32(tail[8:12], bm.count)
+		if _, err := w.Write(tail[:]); err != nil {
+			return err
+		}
+		off += storage.KeySize + 12
+	}
+	filter := newBloom(len(keys))
+	for _, k := range keys {
+		filter.add(k)
+	}
+	bloomOff := off
+	if _, err := w.Write(filter.bits); err != nil {
+		return err
+	}
+	off += uint64(len(filter.bits))
+	var footer [footerSize]byte
+	binary.LittleEndian.PutUint64(footer[0:8], indexOff)
+	binary.LittleEndian.PutUint32(footer[8:12], uint32(len(index)))
+	binary.LittleEndian.PutUint64(footer[12:20], bloomOff)
+	binary.LittleEndian.PutUint32(footer[20:24], uint32(len(filter.bits)))
+	binary.LittleEndian.PutUint64(footer[24:32], total)
+	copy(footer[32:36], sstMagic)
+	if _, err := w.Write(footer[:]); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// openSSTable maps an existing table: footer, index and bloom are loaded
+// eagerly (they are small); data blocks are read on demand.
+func openSSTable(path string) (*sstable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: open sstable: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < footerSize {
+		f.Close()
+		return nil, errors.New("lsm: sstable too small")
+	}
+	var footer [footerSize]byte
+	if _, err := f.ReadAt(footer[:], st.Size()-footerSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(footer[32:36]) != sstMagic {
+		f.Close()
+		return nil, errors.New("lsm: bad sstable magic")
+	}
+	indexOff := binary.LittleEndian.Uint64(footer[0:8])
+	numBlocks := int(binary.LittleEndian.Uint32(footer[8:12]))
+	bloomOff := binary.LittleEndian.Uint64(footer[12:20])
+	bloomLen := int(binary.LittleEndian.Uint32(footer[20:24]))
+	count := binary.LittleEndian.Uint64(footer[24:32])
+
+	t := &sstable{f: f, path: path, count: count}
+	idxBuf := make([]byte, numBlocks*(storage.KeySize+12))
+	if _, err := f.ReadAt(idxBuf, int64(indexOff)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lsm: read index: %w", err)
+	}
+	t.index = make([]blockMeta, numBlocks)
+	for i := 0; i < numBlocks; i++ {
+		rec := idxBuf[i*(storage.KeySize+12):]
+		copy(t.index[i].firstKey[:], rec[:storage.KeySize])
+		t.index[i].off = binary.LittleEndian.Uint64(rec[storage.KeySize : storage.KeySize+8])
+		t.index[i].count = binary.LittleEndian.Uint32(rec[storage.KeySize+8 : storage.KeySize+12])
+	}
+	bits := make([]byte, bloomLen)
+	if _, err := f.ReadAt(bits, int64(bloomOff)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lsm: read bloom: %w", err)
+	}
+	t.filter = bloomFromBytes(bits)
+	return t, nil
+}
+
+func (t *sstable) close() error { return t.f.Close() }
+
+// blockFor returns the index of the block that could contain key, or -1.
+func (t *sstable) blockFor(key []byte) int {
+	i := sort.Search(len(t.index), func(i int) bool {
+		return bytes.Compare(t.index[i].firstKey[:], key) > 0
+	})
+	return i - 1
+}
+
+// readBlock loads block bi into buf.
+func (t *sstable) readBlock(bi int, buf []byte) ([]byte, error) {
+	bm := t.index[bi]
+	need := int(bm.count) * storage.RecordSize
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	if _, err := t.f.ReadAt(buf, int64(bm.off)); err != nil {
+		return nil, fmt.Errorf("lsm: read block %d: %w", bi, err)
+	}
+	t.reads++
+	return buf, nil
+}
+
+// cachedBlock returns block bi through the table's block cache, reporting
+// whether a physical read happened.
+func (t *sstable) cachedBlock(bi int) (block []byte, phys bool, err error) {
+	if t.cache == nil {
+		t.cache = make(map[int][]byte, blockCacheCap)
+	}
+	if b, ok := t.cache[bi]; ok {
+		return b, false, nil
+	}
+	b, err := t.readBlock(bi, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(t.clock) < blockCacheCap {
+		t.clock = append(t.clock, bi)
+	} else {
+		delete(t.cache, t.clock[t.hand])
+		t.clock[t.hand] = bi
+		t.hand = (t.hand + 1) % blockCacheCap
+	}
+	t.cache[bi] = b
+	return b, true, nil
+}
+
+// get returns the value for key, or nil if absent from this table.
+func (t *sstable) get(key []byte, stats *storage.IOStats) ([]byte, error) {
+	if !t.filter.mayContain(key) {
+		return nil, nil
+	}
+	bi := t.blockFor(key)
+	if bi < 0 {
+		return nil, nil
+	}
+	block, phys, err := t.cachedBlock(bi)
+	if err != nil {
+		return nil, err
+	}
+	if stats != nil && phys {
+		stats.AddSeeks(1)
+		stats.AddBytes(len(block))
+	}
+	n := int(t.index[bi].count)
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(block[mid*storage.RecordSize:mid*storage.RecordSize+storage.KeySize], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < n {
+		rec := block[lo*storage.RecordSize:]
+		if bytes.Equal(rec[:storage.KeySize], key) {
+			return append([]byte(nil), rec[storage.KeySize:storage.RecordSize]...), nil
+		}
+	}
+	return nil, nil
+}
+
+// iterator returns an sstIter positioned at the first key ≥ start.
+func (t *sstable) iterator(start []byte, stats *storage.IOStats) *sstIter {
+	it := &sstIter{t: t, stats: stats}
+	bi := t.blockFor(start)
+	if bi < 0 {
+		bi = 0
+	}
+	it.bi = bi
+	if err := it.loadBlock(); err != nil {
+		it.err = err
+		return it
+	}
+	// Position within the block.
+	n := int(t.index[bi].count)
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(it.block[mid*storage.RecordSize:mid*storage.RecordSize+storage.KeySize], start) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	it.i = lo
+	it.skipExhausted()
+	return it
+}
+
+// sstIter iterates one sstable in key order.
+type sstIter struct {
+	t     *sstable
+	stats *storage.IOStats
+	bi    int
+	i     int
+	block []byte
+	err   error
+}
+
+func (it *sstIter) loadBlock() error {
+	if it.bi >= len(it.t.index) {
+		it.block = nil
+		return nil
+	}
+	b, err := it.t.readBlock(it.bi, it.block)
+	if err != nil {
+		return err
+	}
+	if it.stats != nil {
+		it.stats.AddSeeks(1)
+		it.stats.AddBytes(len(b))
+	}
+	it.block = b
+	return nil
+}
+
+func (it *sstIter) skipExhausted() {
+	for it.err == nil && it.block != nil && it.i >= int(it.t.index[it.bi].count) {
+		it.bi++
+		it.i = 0
+		if it.bi >= len(it.t.index) {
+			it.block = nil
+			return
+		}
+		if err := it.loadBlock(); err != nil {
+			it.err = err
+			return
+		}
+	}
+}
+
+func (it *sstIter) valid() bool { return it.err == nil && it.block != nil }
+func (it *sstIter) key() []byte {
+	off := it.i * storage.RecordSize
+	return it.block[off : off+storage.KeySize]
+}
+func (it *sstIter) value() []byte {
+	off := it.i*storage.RecordSize + storage.KeySize
+	return it.block[off : off+storage.ValueSize]
+}
+func (it *sstIter) next() {
+	it.i++
+	it.skipExhausted()
+}
+
+// kvIterator is the common iterator shape shared by memtable, sstable and
+// merge iterators.
+type kvIterator interface {
+	valid() bool
+	key() []byte
+	value() []byte
+	next()
+}
+
+// check interface conformance at compile time.
+var (
+	_ kvIterator = (*memIter)(nil)
+	_ kvIterator = (*sstIter)(nil)
+	_ io.Closer  = (*os.File)(nil)
+)

@@ -1,0 +1,106 @@
+package lsm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// wal is a write-ahead log of put records. Each record is:
+//
+//	u32 crc (over everything after it) | u16 keyLen | u16 valLen | key | val
+//
+// Replay stops at the first corrupt or truncated record, which models the
+// usual crash-recovery contract: a torn tail write loses only the records
+// after the tear.
+type wal struct {
+	f   *os.File
+	w   *bufio.Writer
+	len int64
+}
+
+func createWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: create wal: %w", err)
+	}
+	return &wal{f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// append writes one record. Durability is best-effort (no fsync per record)
+// matching the paper's bulk-ingest usage; call sync for a hard barrier.
+func (w *wal) append(key, val []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint16(hdr[4:6], uint16(len(key)))
+	binary.LittleEndian.PutUint16(hdr[6:8], uint16(len(val)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[4:8])
+	crc.Write(key)
+	crc.Write(val)
+	binary.LittleEndian.PutUint32(hdr[0:4], crc.Sum32())
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(key); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(val); err != nil {
+		return err
+	}
+	w.len += int64(8 + len(key) + len(val))
+	return nil
+}
+
+// sync flushes buffered records to the OS and disk.
+func (w *wal) sync() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// close flushes and closes the log.
+func (w *wal) close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// replayWAL streams every intact record of the log at path into fn. A
+// missing file is not an error (fresh database).
+func replayWAL(path string, fn func(key, val []byte)) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("lsm: open wal: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil // clean EOF or torn header: stop replay
+		}
+		keyLen := int(binary.LittleEndian.Uint16(hdr[4:6]))
+		valLen := int(binary.LittleEndian.Uint16(hdr[6:8]))
+		buf := make([]byte, keyLen+valLen)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil // torn body
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(hdr[4:8])
+		crc.Write(buf)
+		if crc.Sum32() != binary.LittleEndian.Uint32(hdr[0:4]) {
+			return nil // corrupt record: stop
+		}
+		fn(buf[:keyLen], buf[keyLen:])
+	}
+}

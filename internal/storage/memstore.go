@@ -1,0 +1,42 @@
+package storage
+
+import "repro/internal/model"
+
+// MemStore adapts an in-memory model.Dataset to the Store interface. It is
+// the backing store for unit tests, for the sequential baselines, and for
+// the paper's "data fits in memory" scenarios.
+type MemStore struct {
+	ds    *model.Dataset
+	stats IOStats
+}
+
+// NewMemStore wraps an existing dataset. The dataset is shared, not copied.
+func NewMemStore(ds *model.Dataset) *MemStore { return &MemStore{ds: ds} }
+
+// TimeRange implements Store.
+func (m *MemStore) TimeRange() (int32, int32) { return m.ds.TimeRange() }
+
+// Snapshot implements Store.
+func (m *MemStore) Snapshot(t int32) ([]model.ObjPos, error) {
+	snap := m.ds.Snapshot(t)
+	m.stats.AddScan(len(snap))
+	m.stats.AddScanned(len(snap))
+	return snap, nil
+}
+
+// Fetch implements Store.
+func (m *MemStore) Fetch(t int32, oids model.ObjSet) ([]model.ObjPos, error) {
+	rows := m.ds.Fetch(t, oids)
+	m.stats.AddPointQueries(len(oids), len(rows))
+	m.stats.AddScanned(len(rows))
+	return rows, nil
+}
+
+// Stats implements Store.
+func (m *MemStore) Stats() *IOStats { return &m.stats }
+
+// Close implements Store.
+func (m *MemStore) Close() error { return nil }
+
+// Dataset returns the wrapped dataset.
+func (m *MemStore) Dataset() *model.Dataset { return m.ds }

@@ -1,0 +1,111 @@
+package storage
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func TestKeyCodecRoundTrip(t *testing.T) {
+	cases := []struct{ t, oid int32 }{
+		{0, 0}, {1, 2}, {-1, -2}, {1 << 30, -(1 << 30)},
+		{math.MaxInt32, math.MinInt32}, {math.MinInt32, math.MaxInt32},
+	}
+	for _, c := range cases {
+		k := EncodeKey(c.t, c.oid)
+		gt, goid := DecodeKey(k[:])
+		if gt != c.t || goid != c.oid {
+			t.Errorf("round trip (%d,%d) -> (%d,%d)", c.t, c.oid, gt, goid)
+		}
+	}
+}
+
+// Property: byte-wise key order equals numeric (t, oid) order.
+func TestKeyOrderPreserving(t *testing.T) {
+	f := func(t1, o1, t2, o2 int32) bool {
+		k1 := EncodeKey(t1, o1)
+		k2 := EncodeKey(t2, o2)
+		cmp := bytes.Compare(k1[:], k2[:])
+		var want int
+		switch {
+		case t1 < t2 || (t1 == t2 && o1 < o2):
+			want = -1
+		case t1 == t2 && o1 == o2:
+			want = 0
+		default:
+			want = 1
+		}
+		return cmp == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueCodecRoundTrip(t *testing.T) {
+	f := func(x, y float64) bool {
+		v := EncodeValue(x, y)
+		gx, gy := DecodeValue(v[:])
+		// NaN compares unequal to itself; compare bit patterns instead.
+		return math.Float64bits(gx) == math.Float64bits(x) &&
+			math.Float64bits(gy) == math.Float64bits(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIOStats(t *testing.T) {
+	var s IOStats
+	s.AddScan(10)
+	s.AddPointQueries(5, 3)
+	s.AddScanned(12)
+	s.AddBytes(100)
+	s.AddSeeks(2)
+	snap := s.Snapshot()
+	if snap.SnapshotScans != 1 || snap.PointsRead != 13 || snap.PointQueries != 5 ||
+		snap.PointsScanned != 12 || snap.BytesRead != 100 || snap.Seeks != 2 {
+		t.Fatalf("stats snapshot wrong: %+v", snap)
+	}
+	s.Reset()
+	if s.Snapshot() != (IOStats{}) {
+		t.Fatalf("reset should zero stats")
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	ds := model.NewDataset([]model.Point{
+		{OID: 1, T: 0, X: 1, Y: 1},
+		{OID: 2, T: 0, X: 2, Y: 2},
+		{OID: 1, T: 1, X: 3, Y: 3},
+	})
+	ms := NewMemStore(ds)
+	ts, te := ms.TimeRange()
+	if ts != 0 || te != 1 {
+		t.Fatalf("TimeRange = [%d,%d]", ts, te)
+	}
+	snap, err := ms.Snapshot(0)
+	if err != nil || len(snap) != 2 {
+		t.Fatalf("Snapshot = %v, %v", snap, err)
+	}
+	rows, err := ms.Fetch(1, model.NewObjSet(1, 2))
+	if err != nil || len(rows) != 1 || rows[0].OID != 1 {
+		t.Fatalf("Fetch = %v, %v", rows, err)
+	}
+	st := ms.Stats().Snapshot()
+	if st.SnapshotScans != 1 || st.PointQueries != 2 || st.PointsRead != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if ms.Close() != nil {
+		t.Fatalf("Close should be nil")
+	}
+	if ms.Dataset() != ds {
+		t.Fatalf("Dataset accessor wrong")
+	}
+}
+
+// Interface conformance.
+var _ Store = (*MemStore)(nil)

@@ -1,0 +1,62 @@
+package storetest
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+// ErrInjected is the error FaultStore returns once its budget is exhausted.
+var ErrInjected = errors.New("storetest: injected storage fault")
+
+// FaultStore wraps a Store and starts failing after a fixed number of
+// operations, for exercising error paths in the miners: every snapshot or
+// fetch beyond the budget returns ErrInjected.
+type FaultStore struct {
+	Inner storage.Store
+	// FailAfter is the number of successful operations allowed.
+	FailAfter int64
+	ops       int64
+}
+
+// NewFaultStore wraps inner, allowing failAfter successful reads.
+func NewFaultStore(inner storage.Store, failAfter int64) *FaultStore {
+	return &FaultStore{Inner: inner, FailAfter: failAfter}
+}
+
+func (f *FaultStore) tick() error {
+	if atomic.AddInt64(&f.ops, 1) > f.FailAfter {
+		return ErrInjected
+	}
+	return nil
+}
+
+// TimeRange implements storage.Store (never fails: metadata is cached).
+func (f *FaultStore) TimeRange() (int32, int32) { return f.Inner.TimeRange() }
+
+// Snapshot implements storage.Store.
+func (f *FaultStore) Snapshot(t int32) ([]model.ObjPos, error) {
+	if err := f.tick(); err != nil {
+		return nil, err
+	}
+	return f.Inner.Snapshot(t)
+}
+
+// Fetch implements storage.Store.
+func (f *FaultStore) Fetch(t int32, oids model.ObjSet) ([]model.ObjPos, error) {
+	if err := f.tick(); err != nil {
+		return nil, err
+	}
+	return f.Inner.Fetch(t, oids)
+}
+
+// Stats implements storage.Store.
+func (f *FaultStore) Stats() *storage.IOStats { return f.Inner.Stats() }
+
+// Close implements storage.Store.
+func (f *FaultStore) Close() error { return f.Inner.Close() }
+
+// Ops returns the number of operations attempted so far.
+func (f *FaultStore) Ops() int64 { return atomic.LoadInt64(&f.ops) }

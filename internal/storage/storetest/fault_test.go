@@ -1,0 +1,42 @@
+package storetest
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+var _ storage.Store = (*FaultStore)(nil)
+
+func TestFaultStoreBudget(t *testing.T) {
+	ds := RandomDataset(1, 5, 5, 1.0)
+	fs := NewFaultStore(storage.NewMemStore(ds), 2)
+
+	if _, err := fs.Snapshot(0); err != nil {
+		t.Fatalf("op 1 should succeed: %v", err)
+	}
+	if _, err := fs.Fetch(1, model.NewObjSet(0)); err != nil {
+		t.Fatalf("op 2 should succeed: %v", err)
+	}
+	if _, err := fs.Snapshot(2); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 3 should fail: %v", err)
+	}
+	if _, err := fs.Fetch(3, model.NewObjSet(0)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 4 should fail: %v", err)
+	}
+	if fs.Ops() != 4 {
+		t.Fatalf("Ops = %d, want 4", fs.Ops())
+	}
+	// Metadata and stats never fail.
+	if ts, te := fs.TimeRange(); te < ts {
+		t.Fatalf("TimeRange should pass through")
+	}
+	if fs.Stats() == nil {
+		t.Fatalf("Stats should pass through")
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -1,0 +1,57 @@
+package vcoda
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cmc"
+	"repro/internal/minetest"
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/storage/storetest"
+)
+
+func faultScenario() storage.Store {
+	ds := minetest.BuildRanges([]minetest.Range{
+		{Start: 0, End: 14, Groups: [][]int32{{1, 2, 3}}},
+	})
+	return storage.NewMemStore(ds)
+}
+
+func TestMineStarPropagatesFaults(t *testing.T) {
+	for _, budget := range []int64{0, 3, 10} {
+		fs := storetest.NewFaultStore(faultScenario(), budget)
+		if _, _, err := MineStar(fs, 3, 5, minetest.Eps); !errors.Is(err, storetest.ErrInjected) {
+			t.Fatalf("budget %d: err = %v", budget, err)
+		}
+	}
+}
+
+func TestMinePropagatesFaults(t *testing.T) {
+	// Plain VCoDA fetches during validation too; fail there specifically.
+	clean := storetest.NewFaultStore(faultScenario(), 1<<40)
+	if _, _, err := Mine(clean, 3, 5, minetest.Eps); err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{0, clean.Ops() / 2, clean.Ops() - 1} {
+		fs := storetest.NewFaultStore(faultScenario(), budget)
+		if _, _, err := Mine(fs, 3, 5, minetest.Eps); !errors.Is(err, storetest.ErrInjected) {
+			t.Fatalf("budget %d: err = %v", budget, err)
+		}
+	}
+}
+
+func TestCMCPropagatesFaults(t *testing.T) {
+	fs := storetest.NewFaultStore(faultScenario(), 5)
+	if _, err := cmc.Mine(fs, 3, 5, minetest.Eps); !errors.Is(err, storetest.ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRestrictFromStorePropagatesFaults(t *testing.T) {
+	fs := storetest.NewFaultStore(faultScenario(), 2)
+	_, err := RestrictFromStore(fs, model.NewObjSet(1, 2, 3), model.Interval{Start: 0, End: 14})
+	if !errors.Is(err, storetest.ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,175 @@
+package vcoda
+
+import (
+	"testing"
+
+	"repro/internal/minetest"
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+// Figure-2-style scenario: x,y,z travel together but at one timestamp they
+// are only connected through a bridge object n that is not part of the
+// group. The partially connected convoy spans the bridge tick; the FC
+// convoy does not.
+func bridgeScenario() *model.Dataset {
+	groups := map[int32][][]int32{}
+	for t := int32(0); t <= 9; t++ {
+		if t == 5 {
+			// x=1,y=2,z=3 with bridge n=9 inserted between y and z: the
+			// chain is 1-2-9-3; removing 9 splits {1,2} from {3}.
+			groups[t] = [][]int32{{1, 2, 9, 3}}
+		} else {
+			groups[t] = [][]int32{{1, 2, 3}, {9}}
+		}
+	}
+	return minetest.Build(groups)
+}
+
+func TestBridgeObjectBreaksFC(t *testing.T) {
+	ds := bridgeScenario()
+	ms := storage.NewMemStore(ds)
+	m, k := 3, 3
+
+	fc, rep, err := MineStar(ms, m, k, minetest.Eps)
+	if err != nil {
+		t.Fatalf("MineStar: %v", err)
+	}
+	// The partially connected convoy ({1,2,3},[0,9]) exists, but FC convoys
+	// must break at t=5 where connectivity needed object 9.
+	want := []model.Convoy{
+		model.NewConvoy(model.NewObjSet(1, 2, 3), 0, 4),
+		model.NewConvoy(model.NewObjSet(1, 2, 3), 6, 9),
+	}
+	if !model.ConvoysEqual(fc, want) {
+		t.Fatalf("FC convoys = %v, want %v", fc, want)
+	}
+	if rep.PreValidation == 0 || rep.Convoys != 2 {
+		t.Fatalf("report wrong: %+v", rep)
+	}
+	for _, c := range fc {
+		if !minetest.IsFCConvoy(ds, c, m, minetest.Eps) {
+			t.Fatalf("output %v is not FC", c)
+		}
+	}
+}
+
+func TestVCoDAMatchesStar(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		ds := minetest.Random(seed, 10, 15)
+		ms := storage.NewMemStore(ds)
+		star, _, err := MineStar(ms, 3, 4, minetest.Eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, _, err := Mine(ms, 3, 4, minetest.Eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !model.ConvoysEqual(star, plain) {
+			t.Fatalf("seed %d: VCoDA %v != VCoDA* %v", seed, plain, star)
+		}
+	}
+}
+
+func TestOutputsAreMaximalFC(t *testing.T) {
+	for seed := int64(20); seed < 40; seed++ {
+		ds := minetest.Random(seed, 12, 18)
+		out := Reference(ds, 3, 4, minetest.Eps)
+		for _, c := range out {
+			if !minetest.IsFCConvoy(ds, c, 3, minetest.Eps) {
+				t.Fatalf("seed %d: %v not FC", seed, c)
+			}
+			if c.Len() < 4 || c.Size() < 3 {
+				t.Fatalf("seed %d: %v violates m/k", seed, c)
+			}
+		}
+		if i, j := minetest.AssertMaximal(out); i >= 0 {
+			t.Fatalf("seed %d: %v ⊑ %v", seed, out[i], out[j])
+		}
+	}
+}
+
+// Completeness: every FC pair-convoy must be covered by some output.
+func TestReferenceCompleteness(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		ds := minetest.Random(seed, 8, 10)
+		m, k := 2, 3
+		out := Reference(ds, m, k, minetest.Eps)
+		cover := model.NewConvoySet(out...)
+		objs := ds.Objects()
+		ts, te := ds.TimeRange()
+		for s := ts; s <= te; s++ {
+			for e := s + int32(k) - 1; e <= te; e++ {
+				for i := 0; i < len(objs); i++ {
+					for j := i + 1; j < len(objs); j++ {
+						pair := model.NewConvoy(model.NewObjSet(objs[i], objs[j]), s, e)
+						if minetest.IsFCConvoy(ds, pair, m, minetest.Eps) && !cover.Covers(pair) {
+							t.Fatalf("seed %d: FC pair %v not covered by %v", seed, pair, out)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestValidateConfirmsTrueFC(t *testing.T) {
+	ds := minetest.BuildRanges([]minetest.Range{
+		{Start: 0, End: 9, Groups: [][]int32{{1, 2, 3}}},
+	})
+	v := model.NewConvoy(model.NewObjSet(1, 2, 3), 0, 9)
+	out := Validate(ds, []model.Convoy{v}, 3, 3, minetest.Eps)
+	if len(out) != 1 || !out[0].Equal(v) {
+		t.Fatalf("Validate = %v", out)
+	}
+}
+
+func TestValidateDropsTooSmall(t *testing.T) {
+	ds := minetest.BuildRanges([]minetest.Range{
+		{Start: 0, End: 9, Groups: [][]int32{{1, 2}}},
+	})
+	out := Validate(ds, []model.Convoy{
+		model.NewConvoy(model.NewObjSet(1, 2), 0, 9),
+	}, 3, 3, minetest.Eps)
+	if len(out) != 0 {
+		t.Fatalf("undersized candidate should vanish, got %v", out)
+	}
+}
+
+func TestRestrictFromStore(t *testing.T) {
+	ds := minetest.BuildRanges([]minetest.Range{
+		{Start: 0, End: 5, Groups: [][]int32{{1, 2, 3}}},
+	})
+	ms := storage.NewMemStore(ds)
+	sub, err := RestrictFromStore(ms, model.NewObjSet(1, 3), model.Interval{Start: 1, End: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumPoints() != 6 {
+		t.Fatalf("restricted points = %d, want 6", sub.NumPoints())
+	}
+	if !sub.Objects().Equal(model.NewObjSet(1, 3)) {
+		t.Fatalf("restricted objects = %v", sub.Objects())
+	}
+}
+
+// Paper Figure 2: ({a,b,c},[1,4]) is a convoy but not FC because at
+// timestamp 4 the objects need outside help; ({a,b,c},[1,3]) is FC.
+func TestPaperFigure2ABC(t *testing.T) {
+	a, b, c, helper := int32(1), int32(2), int32(3), int32(9)
+	groups := map[int32][][]int32{
+		1: {{a, b, c}},
+		2: {{a, b, c}},
+		3: {{a, b, c}},
+		4: {{a, helper, b, c}}, // helper bridges a to b,c... order: a-9-b-c chain
+	}
+	// At t=4 chain a-9-b-c: a↔b only via 9. So abc is a convoy (all in one
+	// cluster) but not FC at 4.
+	ds := minetest.Build(groups)
+	out := Reference(ds, 3, 3, minetest.Eps)
+	want := []model.Convoy{model.NewConvoy(model.NewObjSet(a, b, c), 1, 3)}
+	if !model.ConvoysEqual(out, want) {
+		t.Fatalf("got %v, want %v", out, want)
+	}
+}

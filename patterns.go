@@ -1,0 +1,56 @@
+package convoy
+
+import (
+	"repro/internal/flock"
+	"repro/internal/movingcluster"
+)
+
+// This file exposes the movement-pattern extensions of the paper's §7
+// ("the k/2-hop technique can be applied to numerous movement pattern
+// mining algorithms such as moving clusters and flock patterns"):
+// flock mining accelerated by the k/2-hop pipeline, and the classical
+// moving-cluster miner (whose identity churn is outside the k/2-hop
+// technique's reach — see package movingcluster for why).
+
+// Flock is a mined flock: ≥ m objects within one disk of radius r for ≥ k
+// consecutive timestamps. Structurally identical to Convoy.
+type Flock = flock.Flock
+
+// FlockParams are the flock parameters (R is the disk radius).
+type FlockParams struct {
+	M int
+	K int
+	R float64
+}
+
+// MineFlocks mines maximal flocks with the k/2-hop pipeline (benchmark
+// points, candidate intersection, hop-window verification, extension). Set
+// sweep to use the classical timestamp-sweep baseline instead.
+func MineFlocks(store Store, p FlockParams, sweep bool) ([]Flock, error) {
+	if sweep {
+		return flock.Sweep(store, flock.Config{M: p.M, K: p.K, R: p.R})
+	}
+	out, _, err := flock.MineK2Hop(store, flock.Config{M: p.M, K: p.K, R: p.R})
+	return out, err
+}
+
+// MovingCluster is a mined moving cluster: a per-tick cluster sequence with
+// bounded membership churn.
+type MovingCluster = movingcluster.MovingCluster
+
+// MovingClusterParams are the moving-cluster parameters: DBSCAN (M, Eps)
+// per snapshot, minimum consecutive Jaccard overlap Theta, minimum
+// lifetime K.
+type MovingClusterParams struct {
+	M     int
+	Eps   float64
+	Theta float64
+	K     int
+}
+
+// MineMovingClusters mines moving clusters with the classical sweep.
+func MineMovingClusters(store Store, p MovingClusterParams) ([]MovingCluster, error) {
+	return movingcluster.Mine(store, movingcluster.Config{
+		M: p.M, Eps: p.Eps, Theta: p.Theta, K: p.K,
+	})
+}

@@ -1,0 +1,105 @@
+package convoy
+
+import (
+	"testing"
+
+	"repro/internal/minetest"
+	"repro/internal/model"
+)
+
+// A scenario where the three pattern classes disagree, demonstrating their
+// semantics side by side:
+//
+//   - a chain of 4 objects spaced just under eps: a convoy (density
+//     connected), not a flock for small r (diameter too large);
+//   - a churning cluster: a moving cluster, neither convoy nor flock.
+func patternScenario() *Dataset {
+	var pts []Point
+	for t := int32(0); t < 12; t++ {
+		// The chain, drifting east.
+		for i := int32(0); i < 4; i++ {
+			pts = append(pts, Point{OID: i, T: t, X: float64(t)*3 + float64(i)*1.2, Y: 0})
+		}
+		// The churning group around (100, 100): members rotate every 4 ticks.
+		stage := t / 4
+		for s := int32(0); s < 3; s++ {
+			oid := 20 + stage + s // windows {20,21,22},{21,22,23},{22,23,24}
+			pts = append(pts, Point{OID: oid, T: t, X: 100 + float64(s)*1.2, Y: 100})
+		}
+	}
+	return NewDataset(pts)
+}
+
+func TestPatternSemanticsDiffer(t *testing.T) {
+	ds := patternScenario()
+
+	// Convoy: the 4-chain qualifies (density-connected with eps=2.5, which
+	// makes the interior points core under minPts=4), full 12 ticks.
+	cres, err := MineDataset(ds, Params{M: 4, K: 12, Eps: 2.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cres.Convoys) != 1 || !cres.Convoys[0].Objs.Equal(NewObjSet(0, 1, 2, 3)) {
+		t.Fatalf("convoy result: %v", cres.Convoys)
+	}
+
+	// Flock with r=1.2: the chain's diameter is 3.6, so no 4-flock exists.
+	flocks, err := MineFlocks(NewMemStore(ds), FlockParams{M: 4, K: 12, R: 1.2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flocks) != 0 {
+		t.Fatalf("no radius-1.2 flock of 4 should exist: %v", flocks)
+	}
+	// But sub-pairs do fit a disk.
+	flocks, err = MineFlocks(NewMemStore(ds), FlockParams{M: 2, K: 12, R: 1.2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flocks) == 0 {
+		t.Fatalf("pair flocks should exist")
+	}
+
+	// Moving cluster: the churning group survives the member rotation.
+	mcs, err := MineMovingClusters(NewMemStore(ds), MovingClusterParams{
+		M: 3, Eps: minetest.Eps, Theta: 0.4, K: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundChurn := false
+	for _, mc := range mcs {
+		if mc.Len() == 12 && mc.Clusters[0].Contains(20) && !mc.Clusters[11].Contains(20) {
+			foundChurn = true
+		}
+	}
+	if !foundChurn {
+		t.Fatalf("churning moving cluster not found: %+v", mcs)
+	}
+	// No convoy of length 12 exists among the churners (object 20 leaves).
+	cres, err = MineDataset(ds, Params{M: 3, K: 12, Eps: 2.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cres.Convoys {
+		if c.Objs.Contains(20) {
+			t.Fatalf("churner should not form a 12-tick convoy: %v", c)
+		}
+	}
+}
+
+func TestMineFlocksSweepMatchesK2Hop(t *testing.T) {
+	ds := patternScenario()
+	p := FlockParams{M: 2, K: 6, R: 1.5}
+	fast, err := MineFlocks(NewMemStore(ds), p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := MineFlocks(NewMemStore(ds), p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.ConvoysEqual(fast, base) {
+		t.Fatalf("k2hop flocks %v != sweep flocks %v", fast, base)
+	}
+}

@@ -1,0 +1,80 @@
+package convoy
+
+import (
+	"repro/internal/cmc"
+	"repro/internal/dbscan"
+	"repro/internal/model"
+)
+
+// StreamMiner mines convoys incrementally from a live feed of snapshots:
+// positions arrive one timestamp at a time, and maximal partially connected
+// convoys are reported as soon as they close (their group disperses). This
+// wraps the PCCD sweep engine, which is inherently one-pass — useful for
+// the streaming-companion use cases the paper's related work discusses
+// (Tang et al., ICDE'12), where the data never rests in a store.
+//
+// Note the pattern class: a streaming miner cannot validate full
+// connectivity retroactively without storing history; Closed() therefore
+// reports partially connected convoys (like CMC/PCCD). Run the k/2-hop
+// batch miner over persisted history for FC results.
+type StreamMiner struct {
+	params Params
+	miner  *cmc.Miner
+	closed []Convoy
+	seen   map[string]bool
+}
+
+// NewStreamMiner creates a streaming miner for the given parameters.
+func NewStreamMiner(p Params) (*StreamMiner, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return &StreamMiner{
+		params: p,
+		miner:  cmc.NewMiner(p.M, p.K),
+		seen:   map[string]bool{},
+	}, nil
+}
+
+// Observe ingests the positions of one timestamp. Timestamps must arrive in
+// increasing order; gaps close all open convoys (objects cannot be
+// "together" at a missing tick).
+func (s *StreamMiner) Observe(t int32, positions []ObjPos) {
+	s.miner.Step(t, dbscan.Cluster(positions, s.params.Eps, s.params.M))
+}
+
+// ObjPos is an object's position within one snapshot.
+type ObjPos = model.ObjPos
+
+// Closed drains the convoys that have closed since the last call. A convoy
+// is closed when its group can no longer be extended at the most recent
+// observed timestamp.
+//
+// The miner keeps its result set maximal across the whole stream, so a
+// convoy may be reported once and later superseded by a longer/larger one;
+// Closed deduplicates by identity but does not retract — downstream
+// consumers that need global maximality should apply
+// model.MaximalConvoys at the end of the stream.
+func (s *StreamMiner) Closed() []Convoy {
+	var out []Convoy
+	for _, c := range s.snapshotResults() {
+		if !s.seen[c.Key()] {
+			s.seen[c.Key()] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Flush ends the stream: every still-open convoy of sufficient length is
+// closed at the last observed timestamp, and the full maximal result set is
+// returned.
+func (s *StreamMiner) Flush() []Convoy {
+	return s.miner.Finish()
+}
+
+// snapshotResults peeks at the miner's current result set without closing
+// alive candidates.
+func (s *StreamMiner) snapshotResults() []Convoy {
+	return s.miner.Results()
+}

@@ -1,0 +1,83 @@
+package convoy
+
+import (
+	"testing"
+
+	"repro/internal/minetest"
+	"repro/internal/model"
+)
+
+func TestStreamMinerBasic(t *testing.T) {
+	sm, err := NewStreamMiner(Params{M: 2, K: 3, Eps: minetest.Eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := func(oid int32, x float64) ObjPos { return ObjPos{OID: oid, X: x} }
+	// Pair together ticks 0..4, then apart.
+	for tt := int32(0); tt < 5; tt++ {
+		sm.Observe(tt, []ObjPos{near(1, 0), near(2, 1)})
+	}
+	if got := sm.Closed(); len(got) != 0 {
+		t.Fatalf("nothing should close while alive: %v", got)
+	}
+	sm.Observe(5, []ObjPos{near(1, 0), near(2, 500)})
+	got := sm.Closed()
+	want := model.NewConvoy(NewObjSet(1, 2), 0, 4)
+	if len(got) != 1 || !got[0].Equal(want) {
+		t.Fatalf("closed = %v, want %v", got, want)
+	}
+	// No duplicate reporting.
+	sm.Observe(6, []ObjPos{near(1, 0), near(2, 500)})
+	if got := sm.Closed(); len(got) != 0 {
+		t.Fatalf("duplicate close: %v", got)
+	}
+}
+
+func TestStreamMinerFlushMatchesBatch(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		ds := minetest.Random(seed, 10, 15)
+		ts, te := ds.TimeRange()
+		p := Params{M: 3, K: 4, Eps: minetest.Eps}
+		sm, err := NewStreamMiner(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tt := ts; tt <= te; tt++ {
+			sm.Observe(tt, ds.Snapshot(tt))
+		}
+		got := sm.Flush()
+		want, err := MineDataset(ds, p, &Options{Algorithm: PCCD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !model.ConvoysEqual(got, want.Convoys) {
+			t.Fatalf("seed %d: stream %v != batch %v", seed, got, want.Convoys)
+		}
+	}
+}
+
+func TestStreamMinerGapClosesConvoys(t *testing.T) {
+	sm, err := NewStreamMiner(Params{M: 2, K: 2, Eps: minetest.Eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := []ObjPos{{OID: 1, X: 0}, {OID: 2, X: 1}}
+	sm.Observe(0, pair)
+	sm.Observe(1, pair)
+	sm.Observe(10, pair) // gap
+	sm.Observe(11, pair)
+	got := sm.Flush()
+	want := []Convoy{
+		model.NewConvoy(NewObjSet(1, 2), 0, 1),
+		model.NewConvoy(NewObjSet(1, 2), 10, 11),
+	}
+	if !model.ConvoysEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestStreamMinerValidation(t *testing.T) {
+	if _, err := NewStreamMiner(Params{M: 0, K: 2, Eps: 1}); err == nil {
+		t.Fatalf("invalid params should fail")
+	}
+}
