@@ -9,6 +9,7 @@ package convoy_test
 // quickest way to see the k/2-hop gain without running a whole figure.
 
 import (
+	"fmt"
 	"testing"
 
 	convoy "repro"
@@ -77,6 +78,26 @@ func benchAlgo(b *testing.B, algo convoy.Algorithm, workers int) {
 		if _, err := convoy.MineDataset(ds, p, &convoy.Options{Algorithm: algo, Workers: workers}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkK2HopParallel sweeps the worker-pool size over the k/2-hop
+// pipeline on the T-Drive dataset: workers=1 is the sequential baseline
+// the parallel runs must beat (and whose output they must reproduce
+// byte-identically — see TestMineParallelDeterminism).
+func BenchmarkK2HopParallel(b *testing.B) {
+	spec := experiments.TDriveSpec()
+	ds := spec.Build(experiments.Tiny)
+	p := convoy.Params{M: spec.M, K: spec.KMid(ds), Eps: spec.Eps}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := convoy.MineDataset(ds, p, &convoy.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	convoy "repro"
@@ -33,11 +34,17 @@ func main() {
 		m       = flag.Int("m", 3, "minimum convoy size")
 		k       = flag.Int("k", 0, "minimum convoy length (0 = dataset default)")
 		eps     = flag.Float64("eps", 0, "density radius (0 = dataset default)")
-		workers = flag.Int("workers", 1, "workers for dcm/spare")
+		workers = flag.Int("workers", 0, "worker pool size: k/2-hop phases and dcm/spare task slots (0 = one per core)")
 		nodes   = flag.Int("nodes", 1, "simulated nodes for dcm/spare")
 		verbose = flag.Bool("v", false, "print every convoy")
 	)
 	flag.Parse()
+	if *workers == 0 {
+		// Resolve the per-core default here: the experiments runners pin an
+		// unset Workers to 1 (sequential paper setups), so the CLI states
+		// its intent explicitly.
+		*workers = runtime.GOMAXPROCS(0)
+	}
 	if err := run(*data, *file, *scale, *algo, *store, *m, *k, *eps, *workers, *nodes, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "convoymine:", err)
 		os.Exit(1)
@@ -108,6 +115,8 @@ func run(data, file, scale, algo, store string, m, k int, eps float64, workers, 
 		fmt.Printf("phases: benchmark=%s candidates=%s hwmt=%s merge=%s extR=%s extL=%s validate=%s\n",
 			r.BenchmarkTime, r.CandidateTime, r.HWMTTime, r.MergeTime,
 			r.ExtendRight, r.ExtendLeft, r.ValidateTime)
+		fmt.Printf("pool: workers=%d cpu: benchmark=%s hwmt=%s extR=%s extL=%s\n",
+			r.Workers, r.BenchmarkCPU, r.HWMTCPU, r.ExtendRightCPU, r.ExtendLeftCPU)
 	}
 	if verbose {
 		for _, c := range res.Convoys {

@@ -26,6 +26,7 @@ package convoy
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/cmc"
@@ -106,11 +107,17 @@ const (
 	SPARE     Algorithm = "spare"
 )
 
-// Options tune the run. The zero value means: k/2-hop, single worker.
+// Options tune the run. The zero value means: k/2-hop, one worker per
+// core.
 type Options struct {
 	// Algorithm selects the miner (default K2Hop).
 	Algorithm Algorithm
-	// Workers bounds the parallelism of DCM and SPARE (default 1).
+	// Workers bounds the parallelism of the run: the k/2-hop pipeline fans
+	// its benchmark clusterings, hop-windows and extensions out over a pool
+	// of this size, and DCM/SPARE use it as their per-node task slots. The
+	// default (0) is one worker per core, runtime.GOMAXPROCS(0); 1 forces
+	// the sequential path. Mining results are byte-identical for every
+	// worker count. Negative values are rejected.
 	Workers int
 	// Nodes simulates a multi-node cluster for DCM and SPARE: tasks pay a
 	// scheduling latency and their inputs/outputs are serialised (default 1
@@ -142,8 +149,14 @@ func Mine(store Store, p Params, opts *Options) (*Result, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
-	o := Options{Algorithm: K2Hop, Workers: 1, Nodes: 1}
+	o := Options{Algorithm: K2Hop, Workers: runtime.GOMAXPROCS(0), Nodes: 1}
 	if opts != nil {
+		if opts.Workers < 0 {
+			return nil, errors.New("convoy: Workers must be ≥ 0")
+		}
+		if opts.Nodes < 0 {
+			return nil, errors.New("convoy: Nodes must be ≥ 0")
+		}
 		if opts.Algorithm != "" {
 			o.Algorithm = opts.Algorithm
 		}
@@ -172,6 +185,7 @@ func Mine(store Store, p Params, opts *Options) (*Result, error) {
 		}
 		cfg := core.DefaultConfig(p.M, p.K, p.Eps)
 		cfg.ReExtend = !o.DisableReExtend
+		cfg.Workers = o.Workers
 		var rep *core.Report
 		res.Convoys, rep, err = core.Mine(store, cfg)
 		res.K2Hop = rep

@@ -2,6 +2,7 @@ package core
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/minetest"
 	"repro/internal/model"
@@ -28,7 +29,7 @@ func TestExtendRightGrowsToTrueEnd(t *testing.T) {
 	mi := newTestMiner(ds, 3, 8)
 	// Spanning skeleton [4, 8]; the true convoy runs to 13.
 	in := []model.Convoy{model.NewConvoy(model.NewObjSet(1, 2, 3), 4, 8)}
-	out, err := mi.extend(in, +1)
+	out, err := mi.extend(in, +1, new(time.Duration))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestExtendLeftGrowsToTrueStart(t *testing.T) {
 	})
 	mi := newTestMiner(ds, 3, 8)
 	in := []model.Convoy{model.NewConvoy(model.NewObjSet(1, 2, 3), 8, 19)}
-	out, err := mi.extend(in, -1)
+	out, err := mi.extend(in, -1, new(time.Duration))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestExtendSplitsIntoSubgroups(t *testing.T) {
 	ds := minetest.Build(groups)
 	mi := newTestMiner(ds, 2, 4)
 	in := []model.Convoy{model.NewConvoy(model.NewObjSet(1, 2, 3, 4), 4, 8)}
-	out, err := mi.extend(in, +1)
+	out, err := mi.extend(in, +1, new(time.Duration))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestExtendStopsAtDatasetBoundary(t *testing.T) {
 	})
 	mi := newTestMiner(ds, 3, 4)
 	in := []model.Convoy{model.NewConvoy(model.NewObjSet(1, 2, 3), 4, 8)}
-	out, err := mi.extend(in, +1)
+	out, err := mi.extend(in, +1, new(time.Duration))
 	if err != nil {
 		t.Fatal(err)
 	}

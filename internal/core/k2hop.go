@@ -8,15 +8,23 @@
 // full; everything else touches only the objects that survived the
 // candidate-cluster intersection, which is why the algorithm prunes the
 // vast majority of the data (paper Table 5).
+//
+// The independent units of work — benchmark clusterings, hop-windows,
+// extension walks — fan out over a bounded worker pool (Config.Workers);
+// results are collected index-addressed so the output is byte-identical
+// for every worker count. See docs/ARCHITECTURE.md for the pipeline
+// diagram and where the pool hooks in.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dcm"
 	"repro/internal/model"
+	"repro/internal/pool"
 	"repro/internal/storage"
 	"repro/internal/vcoda"
 )
@@ -41,6 +49,15 @@ type Config struct {
 	// coincidentally-together candidates after fewer re-clusterings (paper
 	// §4.3). Exists for the ablation benchmarks.
 	LinearHWMT bool
+	// Workers bounds the goroutines of the parallel phases: benchmark
+	// clustering (each benchmark DBSCAN run is independent), HWMT (each
+	// hop-window is independent once the candidate clusters are fixed) and
+	// extension (each merged convoy extends independently). Results are
+	// collected index-addressed, so the output is byte-identical for every
+	// worker count. ≤ 0 means one worker per core (runtime.GOMAXPROCS); 1
+	// is the sequential path. The store must tolerate concurrent reads —
+	// all bundled engines do.
+	Workers int
 }
 
 // DefaultConfig returns a Config with the correction flags enabled.
@@ -49,7 +66,9 @@ func DefaultConfig(m, k int, eps float64) Config {
 }
 
 // Report exposes per-phase timings and pruning counters (paper Fig 8i and
-// Table 5).
+// Table 5). The *Time/Extend* fields are wall clock; the *CPU fields sum
+// the per-task time across workers for the parallel phases, so CPU/wall
+// approximates the effective speedup a phase got from the pool.
 type Report struct {
 	BenchmarkTime time.Duration // benchmark-point clustering
 	CandidateTime time.Duration // cluster-set intersection
@@ -58,6 +77,12 @@ type Report struct {
 	ExtendRight   time.Duration
 	ExtendLeft    time.Duration
 	ValidateTime  time.Duration
+
+	Workers        int           // worker-pool size the run used
+	BenchmarkCPU   time.Duration // summed task time of benchmark clustering
+	HWMTCPU        time.Duration // summed task time of hop-window mining
+	ExtendRightCPU time.Duration
+	ExtendLeftCPU  time.Duration
 
 	BenchmarkPoints int // number of benchmark timestamps clustered
 	HopWindows      int // windows with non-empty candidate sets
@@ -123,7 +148,8 @@ func MineCandidates(store storage.Store, cfg Config, grouper Grouper) ([]model.C
 	if cfg.MaxReExtend <= 0 {
 		cfg.MaxReExtend = 4
 	}
-	rep := &Report{}
+	workers := pool.Size(cfg.Workers)
+	rep := &Report{Workers: workers}
 	readsBefore := store.Stats().Snapshot().PointsRead
 	defer func() {
 		rep.PointsProcessed = store.Stats().Snapshot().PointsRead - readsBefore
@@ -133,9 +159,11 @@ func MineCandidates(store storage.Store, cfg Config, grouper Grouper) ([]model.C
 	if te < ts || int(te-ts)+1 < cfg.K {
 		return nil, rep, nil // dataset shorter than K: no patterns possible
 	}
-	mi := &miner{store: store, cfg: cfg, ts: ts, te: te, grouper: grouper}
+	mi := &miner{store: store, cfg: cfg, ts: ts, te: te, grouper: grouper, workers: workers}
 
-	// Phase 1: benchmark points and benchmark clusters.
+	// Phase 1: benchmark points and benchmark clusters. Every benchmark
+	// DBSCAN run is independent, so the snapshots fan out over the pool;
+	// results land in index-addressed slots to keep the order deterministic.
 	start := time.Now()
 	hop := int32(cfg.K / 2)
 	var bps []int32
@@ -144,14 +172,22 @@ func MineCandidates(store storage.Store, cfg Config, grouper Grouper) ([]model.C
 	}
 	rep.BenchmarkPoints = len(bps)
 	benchClusters := make([][]model.ObjSet, len(bps))
-	for i, b := range bps {
-		snap, err := store.Snapshot(b)
+	var benchCPU atomic.Int64
+	err := pool.ForEach(workers, len(bps), func(i int) error {
+		t0 := time.Now()
+		defer func() { benchCPU.Add(int64(time.Since(t0))) }()
+		snap, err := store.Snapshot(bps[i])
 		if err != nil {
-			return nil, rep, fmt.Errorf("core: benchmark snapshot %d: %w", b, err)
+			return fmt.Errorf("core: benchmark snapshot %d: %w", bps[i], err)
 		}
 		benchClusters[i] = grouper.Benchmark(snap)
+		return nil
+	})
+	if err != nil {
+		return nil, rep, err
 	}
 	rep.BenchmarkTime = time.Since(start)
+	rep.BenchmarkCPU = time.Duration(benchCPU.Load())
 
 	// Phase 2: candidate clusters per hop-window.
 	start = time.Now()
@@ -164,23 +200,35 @@ func MineCandidates(store storage.Store, cfg Config, grouper Grouper) ([]model.C
 	}
 	rep.CandidateTime = time.Since(start)
 
-	// Phase 3: HWMT per hop-window → 1st-order spanning convoys.
+	// Phase 3: HWMT per hop-window → 1st-order spanning convoys. Windows
+	// are independent once the candidate clusters are fixed; fan out and
+	// collect per-window so the spanning order matches the sequential run.
 	start = time.Now()
 	spanning := make([][]model.Convoy, len(cc))
-	for i := range cc {
+	var hwmtCPU atomic.Int64
+	err = pool.ForEach(workers, len(cc), func(i int) error {
 		if len(cc[i]) == 0 {
-			continue
+			return nil
 		}
+		t0 := time.Now()
+		defer func() { hwmtCPU.Add(int64(time.Since(t0))) }()
 		surv, err := mi.hwmt(bps[i]+1, bps[i+1]-1, cc[i])
 		if err != nil {
-			return nil, rep, err
+			return err
 		}
 		for _, objs := range surv {
 			spanning[i] = append(spanning[i], model.Convoy{Objs: objs, Start: bps[i], End: bps[i+1]})
 		}
-		rep.Spanning += len(surv)
+		return nil
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	for i := range spanning {
+		rep.Spanning += len(spanning[i])
 	}
 	rep.HWMTTime = time.Since(start)
+	rep.HWMTCPU = time.Duration(hwmtCPU.Load())
 
 	// Phase 4: merge spanning convoys across windows.
 	start = time.Now()
@@ -209,6 +257,7 @@ type miner struct {
 	cfg     Config
 	ts, te  int32
 	grouper Grouper
+	workers int
 }
 
 // recluster fetches the positions of objs at t and groups them among

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/minetest"
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+// mineWith runs the full k/2-hop miner with a fixed worker count and
+// returns the canonical string rendering of the result, so tests can
+// assert byte-identical output across worker counts.
+func mineWith(t *testing.T, ds *model.Dataset, m, k, workers int) string {
+	t.Helper()
+	cfg := DefaultConfig(m, k, minetest.Eps)
+	cfg.Workers = workers
+	out, rep, err := Mine(storage.NewMemStore(ds), cfg)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	if workers > 0 && rep.Workers != workers {
+		t.Fatalf("report says %d workers, want %d", rep.Workers, workers)
+	}
+	s := ""
+	for _, c := range out {
+		s += c.String() + "\n"
+	}
+	return s
+}
+
+// TestParallelDeterminism is the hard requirement of the parallel engine:
+// for every worker count the mined convoy set must be byte-identical to
+// the sequential (Workers=1) run, on datasets with enough going on that
+// all parallel phases (benchmark fan-out, HWMT fan-out, extension fan-out)
+// actually carry work.
+func TestParallelDeterminism(t *testing.T) {
+	cases := []struct {
+		name     string
+		seed     int64
+		nObj, nT int
+		m, k     int
+	}{
+		{"small", 1, 20, 60, 3, 8},
+		{"medium", 2, 40, 120, 3, 10},
+		{"long-k", 3, 30, 200, 2, 24},
+		{"dense", 4, 60, 80, 3, 6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := minetest.Random(tc.seed, tc.nObj, tc.nT)
+			want := mineWith(t, ds, tc.m, tc.k, 1)
+			if want == "" {
+				t.Logf("note: no convoys mined for %s (still checks empty equality)", tc.name)
+			}
+			for _, workers := range []int{2, 3, 4, 8} {
+				if got := mineWith(t, ds, tc.m, tc.k, workers); got != want {
+					t.Fatalf("workers=%d output differs from sequential:\n--- sequential ---\n%s--- workers=%d ---\n%s",
+						workers, want, workers, got)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelReportCPUAccounting checks that the parallel phases record
+// summed task time: CPU time must be at least a large fraction of wall
+// time for a busy phase (they are equal modulo scheduling when workers=1).
+func TestParallelReportCPUAccounting(t *testing.T) {
+	ds := minetest.Random(5, 40, 120)
+	cfg := DefaultConfig(3, 10, minetest.Eps)
+	cfg.Workers = 4
+	_, rep, err := Mine(storage.NewMemStore(ds), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workers != 4 {
+		t.Fatalf("Workers = %d, want 4", rep.Workers)
+	}
+	if rep.BenchmarkTime > 0 && rep.BenchmarkCPU == 0 {
+		t.Fatal("benchmark phase ran but recorded no CPU time")
+	}
+	if rep.HWMTTime > 0 && rep.HWMTCPU == 0 {
+		t.Fatal("HWMT phase ran but recorded no CPU time")
+	}
+	if rep.ExtendRight > 0 && rep.ExtendRightCPU == 0 {
+		t.Fatal("extend-right phase ran but recorded no CPU time")
+	}
+}
+
+// TestParallelAgainstReference cross-validates the parallel run against
+// the invariant checkers: everything mined concurrently must really be a
+// fully connected convoy of the dataset.
+func TestParallelAgainstReference(t *testing.T) {
+	ds := minetest.Random(6, 30, 100)
+	cfg := DefaultConfig(3, 8, minetest.Eps)
+	cfg.Workers = 8
+	out, _, err := Mine(storage.NewMemStore(ds), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range out {
+		if !minetest.IsFCConvoy(ds, c, cfg.M, minetest.Eps) {
+			t.Fatalf("parallel run mined a non-FC convoy: %v", c)
+		}
+	}
+	if i, j := minetest.AssertMaximal(out); i >= 0 {
+		t.Fatalf("result not maximal: %d ⊂ %d", i, j)
+	}
+}

@@ -1,0 +1,48 @@
+package dbscan
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestClusterConcurrent exercises the goroutine-safety contract the
+// parallel k/2-hop phases depend on: many concurrent Cluster calls over a
+// shared read-only input must race-detect clean and return exactly what a
+// single sequential call returns. Run with -race (the CI suite does).
+func TestClusterConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	objs := make([]model.ObjPos, 400)
+	for i := range objs {
+		objs[i] = model.ObjPos{
+			OID: int32(i),
+			X:   rng.Float64() * 100,
+			Y:   rng.Float64() * 100,
+		}
+	}
+	const eps, minPts = 4.0, 3
+	want := Cluster(objs, eps, minPts)
+	if len(want) == 0 {
+		t.Fatal("degenerate fixture: no clusters")
+	}
+
+	const goroutines = 16
+	got := make([][]model.ObjSet, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			got[g] = Cluster(objs, eps, minPts)
+		}(g)
+	}
+	wg.Wait()
+	for g := range got {
+		if !reflect.DeepEqual(got[g], want) {
+			t.Fatalf("goroutine %d: concurrent result differs from sequential", g)
+		}
+	}
+}

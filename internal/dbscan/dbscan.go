@@ -25,6 +25,11 @@ const (
 // Cluster runs DBSCAN over objs and returns the (minPts,eps)-clusters as
 // sorted object sets in deterministic order. Objects that end up as noise
 // are omitted. The input slice is not modified.
+//
+// Cluster is goroutine-safe: it holds no package state and allocates its
+// index, labels and buffers per call, so independent calls may run
+// concurrently (the parallel k/2-hop phases rely on this). Concurrent
+// calls must not mutate a shared input slice while a call is in flight.
 func Cluster(objs []model.ObjPos, eps float64, minPts int) []model.ObjSet {
 	n := len(objs)
 	if n == 0 || minPts <= 0 || n < minPts {

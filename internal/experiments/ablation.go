@@ -37,6 +37,7 @@ func ablation(s Scale) (Table, error) {
 		var baseConvoys int
 		for vi, v := range variants {
 			cfg := core.DefaultConfig(spec.M, k, spec.Eps)
+			cfg.Workers = 1 // ablate the algorithm, not the pool
 			v.mut(&cfg)
 			ms := storage.NewMemStore(ds)
 			var convoys []convoy.Convoy

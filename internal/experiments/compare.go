@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	convoy "repro"
+	"repro/internal/pool"
+)
+
+func init() {
+	register("compare", func(s Scale) (Table, error) {
+		return Compare(s, "Trucks", AllAlgorithms(), 0)
+	})
+}
+
+// AllAlgorithms returns every mining algorithm in the paper's order.
+func AllAlgorithms() []convoy.Algorithm {
+	return []convoy.Algorithm{
+		convoy.K2Hop, convoy.VCoDA, convoy.VCoDAStar,
+		convoy.PCCD, convoy.CuTS, convoy.DCM, convoy.SPARE,
+	}
+}
+
+// ParseAlgorithms parses a comma-separated algorithm list ("k2hop,vcoda").
+// An empty string means all algorithms.
+func ParseAlgorithms(s string) ([]convoy.Algorithm, error) {
+	if strings.TrimSpace(s) == "" {
+		return AllAlgorithms(), nil
+	}
+	known := map[string]convoy.Algorithm{}
+	for _, a := range AllAlgorithms() {
+		known[string(a)] = a
+	}
+	var out []convoy.Algorithm
+	for _, part := range strings.Split(s, ",") {
+		a, ok := known[strings.ToLower(strings.TrimSpace(part))]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown algorithm %q", part)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// patternClass names the convoy class an algorithm guarantees.
+func patternClass(a convoy.Algorithm) string {
+	switch a {
+	case convoy.K2Hop, convoy.VCoDA, convoy.VCoDAStar:
+		return "fully connected"
+	default:
+		return "partially connected"
+	}
+}
+
+// Compare mines one dataset with several algorithms side by side and
+// returns one row per algorithm: convoy class, result count, wall clock
+// and points read. The algorithms fan out over a bounded pool (workers ≤ 0
+// = one per core), which is how cmd/experiments builds comparison tables
+// in one dataset-generation pass instead of one sequential run per
+// baseline. Each algorithm runs with Workers: 1 internally so the
+// side-by-side wall clocks measure the algorithms, not the pool — except
+// DCM and SPARE, which interpret Workers as map-reduce task slots and get
+// the paper's default of 4. Rows are collected index-addressed, so the
+// table order is deterministic.
+func Compare(s Scale, dataset string, algos []convoy.Algorithm, workers int) (Table, error) {
+	var spec DatasetSpec
+	found := false
+	for _, d := range Datasets() {
+		if strings.EqualFold(d.Name, dataset) {
+			spec, found = d, true
+			break
+		}
+	}
+	if !found {
+		return Table{}, fmt.Errorf("experiments: unknown dataset %q (have Trucks, T-Drive, Brinkhoff)", dataset)
+	}
+	ds := spec.Build(s)
+	k := spec.Ks(ds)[1]
+	t := Table{
+		ID:    "compare",
+		Title: fmt.Sprintf("algorithm comparison on %s (m=%d k=%d eps=%g)", spec.Name, spec.M, k, spec.Eps),
+		Columns: []string{
+			"algorithm", "class", "convoys", "time", "points read",
+		},
+		Notes: fmt.Sprintf("algorithms ran concurrently on %d workers; times are per-algorithm wall clock under that load", min(pool.Size(workers), len(algos))),
+	}
+
+	rows := make([][]string, len(algos))
+	var wall atomic.Int64
+	err := pool.ForEach(workers, len(algos), func(i int) error {
+		algo := algos[i]
+		opts := &convoy.Options{Algorithm: algo, Workers: 1}
+		if algo == convoy.DCM || algo == convoy.SPARE {
+			// The map-reduce baselines interpret Workers as task slots;
+			// give them the paper's default of 4.
+			opts.Workers = 4
+		}
+		res, err := MineMem(ds, convoy.Params{M: spec.M, K: k, Eps: spec.Eps}, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", algo, err)
+		}
+		wall.Add(int64(res.Duration))
+		rows[i] = []string{
+			string(algo), patternClass(algo), itoa(len(res.Convoys)), secs(res.Duration), fmt.Sprintf("%d", res.Points),
+		}
+		return nil
+	})
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, rows...)
+	t.Notes += fmt.Sprintf("; summed algorithm time %s", secs(time.Duration(wall.Load())))
+	return t, nil
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	convoy "repro"
+)
+
+func TestParseAlgorithms(t *testing.T) {
+	all, err := ParseAlgorithms("")
+	if err != nil || len(all) != 7 {
+		t.Fatalf("empty list should give all 7 algorithms, got %v, %v", all, err)
+	}
+	got, err := ParseAlgorithms("K2Hop, vcoda*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != convoy.K2Hop || got[1] != convoy.VCoDAStar {
+		t.Fatalf("parsed %v", got)
+	}
+	if _, err := ParseAlgorithms("nope"); err == nil {
+		t.Fatal("unknown algorithm should fail")
+	}
+}
+
+func TestCompareRunsAllAlgorithmsConcurrently(t *testing.T) {
+	tb, err := Compare(Tiny, "Trucks", AllAlgorithms(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(AllAlgorithms()) {
+		t.Fatalf("want %d rows, got %d", len(AllAlgorithms()), len(tb.Rows))
+	}
+	// All miners must agree on the result count for this dataset: the FC
+	// and PC classes coincide on the generated Trucks platoons.
+	count := tb.Rows[0][2]
+	for _, row := range tb.Rows {
+		if row[2] != count {
+			t.Fatalf("algorithms disagree on convoy count: %v", tb.Rows)
+		}
+	}
+}
+
+func TestCompareUnknownDataset(t *testing.T) {
+	if _, err := Compare(Tiny, "Mars", AllAlgorithms(), 1); err == nil ||
+		!strings.Contains(err.Error(), "unknown dataset") {
+		t.Fatalf("want unknown-dataset error, got %v", err)
+	}
+}

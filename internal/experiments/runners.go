@@ -18,14 +18,38 @@ type MineResult struct {
 	PreVal   int
 }
 
+// seqOpts pins unset worker counts to a single worker: the
+// paper-reproduction experiments compare algorithms on one core (the
+// paper's sequential setups), so their gain tables must not silently
+// inherit the library's workers-per-core default, which would skew
+// k/2-hop's measured gains by the machine's core count. Both nil options
+// and options with Workers == 0 are pinned — callers that really want the
+// parallel engine must say so explicitly (cmd/convoymine resolves its
+// per-core default itself). The parallel engine is measured on its own by
+// BenchmarkK2HopParallel and the Compare runner.
+func seqOpts(opts *convoy.Options) *convoy.Options {
+	if opts == nil {
+		return &convoy.Options{Workers: 1}
+	}
+	if opts.Workers == 0 {
+		o := *opts
+		o.Workers = 1
+		return &o
+	}
+	return opts
+}
+
 // MineOn runs an algorithm against a dataset materialised under a storage
-// engine and measures wall clock including all store I/O.
+// engine and measures wall clock including all store I/O. Nil opts or an
+// unset Workers means the paper's sequential setup (Workers: 1), not the
+// library default.
 //
 // StoreFile reproduces the paper's k2-File semantics: the flat file is
 // loaded into memory first (that cost is part of the measured time) and the
 // miner runs in memory — flat files have no index, so that is their best
 // strategy.
 func MineOn(kind StoreKind, ds *model.Dataset, params convoy.Params, opts *convoy.Options) (*MineResult, error) {
+	opts = seqOpts(opts)
 	dir, err := os.MkdirTemp("", "k2exp")
 	if err != nil {
 		return nil, err
@@ -78,9 +102,11 @@ func MineOn(kind StoreKind, ds *model.Dataset, params convoy.Params, opts *convo
 	}, nil
 }
 
-// MineMem runs an algorithm on the in-memory store.
+// MineMem runs an algorithm on the in-memory store. Nil opts or an unset
+// Workers means the paper's sequential setup (Workers: 1), not the
+// library default.
 func MineMem(ds *model.Dataset, params convoy.Params, opts *convoy.Options) (*MineResult, error) {
-	res, err := convoy.MineDataset(ds, params, opts)
+	res, err := convoy.MineDataset(ds, params, seqOpts(opts))
 	if err != nil {
 		return nil, err
 	}

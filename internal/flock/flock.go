@@ -16,11 +16,15 @@ import (
 type Flock = model.Convoy
 
 // Config carries the flock parameters: ≥ M objects within one disk of
-// radius R for ≥ K consecutive timestamps.
+// radius R for ≥ K consecutive timestamps. Workers bounds MineK2Hop's
+// parallel phases like core.Config.Workers does (≤ 0 = one worker per
+// core, 1 = the sequential path; output is identical either way); Sweep
+// is inherently sequential and ignores it.
 type Config struct {
-	M int
-	K int
-	R float64
+	M       int
+	K       int
+	R       float64
+	Workers int
 }
 
 // Sweep mines maximal flocks with the classical timestamp sweep
@@ -51,6 +55,7 @@ func Sweep(store storage.Store, cfg Config) ([]Flock, error) {
 // numerous movement patterns such as ... flock patterns").
 func MineK2Hop(store storage.Store, cfg Config) ([]Flock, *core.Report, error) {
 	ccfg := core.DefaultConfig(cfg.M, cfg.K, cfg.R)
+	ccfg.Workers = cfg.Workers
 	grouper := core.Grouper{
 		Benchmark:  func(rows []model.ObjPos) []model.ObjSet { return DiskGroups(rows, cfg.R, cfg.M) },
 		Restricted: func(rows []model.ObjPos) []model.ObjSet { return DiskGroups(rows, cfg.R, cfg.M) },

@@ -1,0 +1,91 @@
+// Package pool provides the bounded worker pool the parallel mining
+// pipeline fans out on. The design goal is determinism: callers address
+// results by task index, so a fan-out over [0, n) produces exactly the
+// same data structures regardless of the worker count or the order in
+// which tasks happen to finish. A run with one worker is byte-identical
+// to a run with many.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Size normalises a worker count: values ≤ 0 mean "one worker per core"
+// (runtime.GOMAXPROCS(0)).
+func Size(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// and blocks until all tasks finish. Tasks are handed out in index order;
+// callers write results into index-addressed slots, which keeps the
+// overall computation deterministic independent of scheduling.
+//
+// If any invocation returns an error, ForEach stops handing out new
+// tasks, waits for the tasks already claimed, and returns the error with
+// the lowest task index. Every claimed index runs (the stop flag is
+// checked before claiming, never after), and claims are handed out as a
+// contiguous prefix of [0, n), so the lowest failing index is always
+// claimed, always runs, and always wins — the returned error is
+// deterministic whenever task outcomes are. Tasks never claimed are
+// skipped; their indices are strictly above every claimed one.
+func ForEach(workers, n int, fn func(i int) error) error {
+	workers = Size(workers)
+	if workers > n {
+		workers = n
+	}
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64 // next task index to hand out
+		failed atomic.Bool  // stop handing out new tasks after an error
+		mu     sync.Mutex
+		errIdx = -1
+		first  error
+		wg     sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		failed.Store(true)
+		mu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, first = i, err
+		}
+		mu.Unlock()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

@@ -1,0 +1,83 @@
+package pool
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSize(t *testing.T) {
+	if got := Size(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Size(0) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Size(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Size(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Size(7); got != 7 {
+		t.Fatalf("Size(7) = %d, want 7", got)
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 13} {
+		const n = 100
+		seen := make([]atomic.Int32, n)
+		if err := ForEach(workers, n, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range seen {
+			if c := seen[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachLowestIndexErrorWins(t *testing.T) {
+	wantA := errors.New("a")
+	wantB := errors.New("b")
+	for _, workers := range []int{1, 8} {
+		err := ForEach(workers, 50, func(i int) error {
+			switch i {
+			case 3:
+				return wantA
+			case 7:
+				return wantB
+			}
+			return nil
+		})
+		// With one worker the walk stops at 3; with many workers index 7
+		// may also fail, but 3 must still win.
+		if !errors.Is(err, wantA) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, wantA)
+		}
+	}
+}
+
+func TestForEachStopsAfterError(t *testing.T) {
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	err := ForEach(2, 1000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n > 100 {
+		t.Fatalf("ran %d tasks after early error; fan-out did not stop", n)
+	}
+}

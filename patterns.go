@@ -1,6 +1,8 @@
 package convoy
 
 import (
+	"errors"
+
 	"repro/internal/flock"
 	"repro/internal/movingcluster"
 )
@@ -16,21 +18,29 @@ import (
 // consecutive timestamps. Structurally identical to Convoy.
 type Flock = flock.Flock
 
-// FlockParams are the flock parameters (R is the disk radius).
+// FlockParams are the flock parameters (R is the disk radius). Workers
+// bounds the k/2-hop pipeline's parallelism like Options.Workers does
+// (0 = one worker per core, 1 = sequential; results are identical either
+// way) — pin it to 1 when timing the algorithms against each other.
 type FlockParams struct {
-	M int
-	K int
-	R float64
+	M       int
+	K       int
+	R       float64
+	Workers int
 }
 
 // MineFlocks mines maximal flocks with the k/2-hop pipeline (benchmark
 // points, candidate intersection, hop-window verification, extension). Set
-// sweep to use the classical timestamp-sweep baseline instead.
+// sweep to use the classical timestamp-sweep baseline instead (always
+// sequential).
 func MineFlocks(store Store, p FlockParams, sweep bool) ([]Flock, error) {
+	if p.Workers < 0 {
+		return nil, errors.New("convoy: Workers must be ≥ 0")
+	}
 	if sweep {
 		return flock.Sweep(store, flock.Config{M: p.M, K: p.K, R: p.R})
 	}
-	out, _, err := flock.MineK2Hop(store, flock.Config{M: p.M, K: p.K, R: p.R})
+	out, _, err := flock.MineK2Hop(store, flock.Config{M: p.M, K: p.K, R: p.R, Workers: p.Workers})
 	return out, err
 }
 
