@@ -1,0 +1,88 @@
+// Command convoyd serves streaming convoy mining over HTTP: JSON snapshot
+// ingest per feed, long-poll queries for closed convoys, and an end-of-feed
+// flush returning the full maximal result set. See docs/ARCHITECTURE.md
+// ("convoyd") for the sharding and reordering design.
+//
+// Example:
+//
+//	convoyd -addr :8080 -m 3 -k 4 -eps 1.5 -shards 8 -window 4 \
+//	        -persist /tmp/closed.k2cl
+//
+//	curl -s -X POST localhost:8080/v1/feeds/osaka/snapshots -d '{
+//	  "snapshots": [{"t": 0, "positions": [{"oid": 1, "x": 0, "y": 0}]}]}'
+//	curl -s 'localhost:8080/v1/feeds/osaka/convoys?cursor=0&wait=5s'
+//	curl -s -X POST localhost:8080/v1/feeds/osaka/flush
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	convoy "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		m            = flag.Int("m", 3, "minimum convoy size (objects)")
+		k            = flag.Int("k", 4, "minimum convoy length (ticks)")
+		eps          = flag.Float64("eps", 1.5, "clustering radius")
+		shards       = flag.Int("shards", 8, "shard actor count")
+		queue        = flag.Int("queue", 128, "per-shard ingest queue capacity (batches)")
+		window       = flag.Int("window", 0, "reordering window in ticks (0 = strict in-order)")
+		wait         = flag.Duration("enqueue-wait", 250*time.Millisecond, "how long ingest waits for queue space before 429")
+		persist      = flag.String("persist", "", "closed-convoy sink path (empty = no persistence)")
+		persistEvery = flag.Duration("persist-every", 2*time.Second, "persistence interval")
+	)
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		Params:       convoy.Params{M: *m, K: *k, Eps: *eps},
+		Shards:       *shards,
+		QueueLen:     *queue,
+		Window:       int32(*window),
+		EnqueueWait:  *wait,
+		PersistPath:  *persist,
+		PersistEvery: *persistEvery,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "convoyd:", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Println("convoyd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("convoyd: listening on %s (m=%d k=%d eps=%g shards=%d window=%d)",
+		*addr, *m, *k, *eps, *shards, *window)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "convoyd:", err)
+		os.Exit(1)
+	}
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "convoyd: close:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,146 @@
+package convoy
+
+// Differential tests: the streaming miner against the batch sweep on
+// arbitrary random data, and every Options.Algorithm against every other on
+// clique-cluster data where FC and PC semantics provably coincide (see
+// internal/minetest/differential.go). These are the backbone that keeps
+// future algorithm changes honest: any divergence between two
+// implementations of the same semantics fails loudly with a set diff.
+
+import (
+	"testing"
+
+	"repro/internal/minetest"
+)
+
+// TestDifferentialStreamVsBatch mines ≥100 seeded random datasets both
+// incrementally (Observe/Flush) and in batch (PCCD over a store) and
+// requires byte-identical canonical results.
+func TestDifferentialStreamVsBatch(t *testing.T) {
+	const trials = 120
+	for seed := int64(0); seed < trials; seed++ {
+		nObj := 8 + int(seed%5)
+		nTicks := 12 + int(seed%9)
+		ds := minetest.Random(seed, nObj, nTicks)
+		p := Params{M: 3, K: 4, Eps: minetest.Eps}
+
+		sm, err := NewStreamMiner(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, te := ds.TimeRange()
+		for tt := ts; tt <= te; tt++ {
+			if err := sm.Observe(tt, ds.Snapshot(tt)); err != nil {
+				t.Fatalf("seed %d: observe t=%d: %v", seed, tt, err)
+			}
+		}
+		got := sm.Flush()
+
+		want, err := MineDataset(ds, p, &Options{Algorithm: PCCD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := minetest.DiffConvoys("stream", got, "batch", want.Convoys); d != "" {
+			t.Fatalf("seed %d (%d objs × %d ticks): %s", seed, nObj, nTicks, d)
+		}
+		if sg, sb := minetest.Canonical(got), minetest.Canonical(want.Convoys); sg != sb {
+			t.Fatalf("seed %d: canonical renderings differ:\nstream:\n%s\nbatch:\n%s", seed, sg, sb)
+		}
+	}
+}
+
+// TestDifferentialAllAlgorithms runs every algorithm over clique-cluster
+// datasets — where fully and partially connected convoy semantics coincide
+// — and requires all seven result sets (plus the streaming miner's) to be
+// identical.
+func TestDifferentialAllAlgorithms(t *testing.T) {
+	algos := []Algorithm{K2Hop, VCoDA, VCoDAStar, PCCD, CuTS, DCM, SPARE}
+	p := Params{M: 3, K: 4, Eps: minetest.Eps}
+	for seed := int64(0); seed < 12; seed++ {
+		nObj := 8 + int(seed%4)
+		nTicks := 12 + int(seed%6)
+		ds := minetest.RandomClique(seed, nObj, nTicks)
+		if !minetest.CliqueClusters(ds, p.Eps, p.M) {
+			t.Fatalf("seed %d: RandomClique produced a non-clique cluster; premise broken", seed)
+		}
+
+		ref, err := MineDataset(ds, p, &Options{Algorithm: PCCD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, algo := range algos {
+			res, err := MineDataset(ds, p, &Options{Algorithm: algo})
+			if err != nil {
+				t.Fatalf("seed %d: %s: %v", seed, algo, err)
+			}
+			if d := minetest.DiffConvoys(string(algo), res.Convoys, "pccd", ref.Convoys); d != "" {
+				t.Fatalf("seed %d (%d objs × %d ticks): %s", seed, nObj, nTicks, d)
+			}
+		}
+
+		sm, err := NewStreamMiner(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, te := ds.TimeRange()
+		for tt := ts; tt <= te; tt++ {
+			if err := sm.Observe(tt, ds.Snapshot(tt)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if d := minetest.DiffConvoys("stream", sm.Flush(), "pccd", ref.Convoys); d != "" {
+			t.Fatalf("seed %d: %s", seed, d)
+		}
+	}
+}
+
+// TestDifferentialStreamResetReuse checks that one StreamMiner instance,
+// Reset between streams, matches fresh-miner results — the reuse pattern
+// the convoyd shard actors depend on.
+func TestDifferentialStreamResetReuse(t *testing.T) {
+	p := Params{M: 3, K: 4, Eps: minetest.Eps}
+	sm, err := NewStreamMiner(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		ds := minetest.Random(seed, 9, 14)
+		ts, te := ds.TimeRange()
+		for tt := ts; tt <= te; tt++ {
+			if err := sm.Observe(tt, ds.Snapshot(tt)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := sm.Flush()
+		want, err := MineDataset(ds, p, &Options{Algorithm: PCCD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := minetest.DiffConvoys("reused-stream", got, "batch", want.Convoys); d != "" {
+			t.Fatalf("seed %d: %s", seed, d)
+		}
+		sm.Reset()
+	}
+}
+
+// TestDifferentialMaximality spot-checks the shared output contract on the
+// differential datasets: every reported convoy really is a convoy, and no
+// reported convoy is a strict sub-convoy of another.
+func TestDifferentialMaximality(t *testing.T) {
+	p := Params{M: 3, K: 4, Eps: minetest.Eps}
+	for seed := int64(0); seed < 25; seed++ {
+		ds := minetest.Random(seed, 10, 16)
+		res, err := MineDataset(ds, p, &Options{Algorithm: PCCD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range res.Convoys {
+			if !minetest.IsConvoy(ds, c, p.M, p.Eps) {
+				t.Fatalf("seed %d: %v is not a convoy", seed, c)
+			}
+		}
+		if i, j := minetest.AssertMaximal(res.Convoys); i >= 0 {
+			t.Fatalf("seed %d: convoy %v ⊂ %v", seed, res.Convoys[i], res.Convoys[j])
+		}
+	}
+}

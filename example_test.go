@@ -56,11 +56,14 @@ func ExampleNewStreamMiner() {
 		log.Fatal(err)
 	}
 	for t := int32(0); t < 5; t++ {
-		sm.Observe(t, []convoy.ObjPos{
+		err := sm.Observe(t, []convoy.ObjPos{
 			{OID: 1, X: float64(t) * 10, Y: 0},
 			{OID: 2, X: float64(t)*10 + 2, Y: 0},
 			{OID: 7, X: 500 - float64(t)*10, Y: 90},
 		})
+		if err != nil { // timestamps must be strictly increasing
+			log.Fatal(err)
+		}
 	}
 	for _, c := range sm.Flush() {
 		fmt.Printf("%v lasted %d ticks\n", c.Objs, c.Len())

@@ -32,6 +32,11 @@ type Miner struct {
 	// alive candidates; invariant: no candidate dominates another.
 	alive   []candidate
 	results *model.ConvoySet
+	// fresh queues convoys accepted into the result set since the last
+	// Drain, in emission order. This lets streaming consumers poll for
+	// novelty in O(new) instead of re-deriving it from the full result set
+	// (which is O(R log R) per poll and quadratic over a feed's lifetime).
+	fresh   []model.Convoy
 	lastT   int32
 	started bool
 }
@@ -58,9 +63,17 @@ func NewMinerKeep(m int, keep func(model.Convoy) bool) *Miner {
 }
 
 // Step feeds the cluster set of timestamp t. Timestamps must be fed in
-// strictly increasing, contiguous order; a gap kills all candidates (an
-// object cannot be "together" at a missing tick).
+// strictly increasing order; feeding a timestamp ≤ the previous one is a
+// contract violation and panics (the callers that accept untrusted input —
+// StreamMiner and the convoyd ingest path — validate before calling).
+//
+// The order may have gaps: a gap kills all candidates (an object cannot be
+// "together" at a missing tick), so every candidate alive before the gap is
+// closed at the last pre-gap timestamp and mining restarts fresh at t.
 func (mn *Miner) Step(t int32, clusters []model.ObjSet) {
+	if mn.started && t <= mn.lastT {
+		panic(fmt.Sprintf("cmc: non-monotonic Step: t=%d after t=%d", t, mn.lastT))
+	}
 	if mn.started && t != mn.lastT+1 {
 		// Discontinuity: candidates cannot span the gap.
 		mn.flushAll(mn.lastT)
@@ -121,8 +134,8 @@ func dominate(cands []candidate) []candidate {
 }
 
 func (mn *Miner) emit(c model.Convoy) {
-	if mn.keep(c) {
-		mn.results.Update(c)
+	if mn.keep(c) && mn.results.Update(c) {
+		mn.fresh = append(mn.fresh, c)
 	}
 }
 
@@ -143,6 +156,33 @@ func (mn *Miner) Finish() []model.Convoy {
 // Results returns the convoys closed so far without flushing alive
 // candidates — the streaming API's peek.
 func (mn *Miner) Results() []model.Convoy { return mn.results.Sorted() }
+
+// Drain returns the convoys accepted into the result set since the last
+// Drain, in emission order, and clears the queue. A drained convoy may
+// later be superseded by a longer/larger one (which will itself be drained
+// when it closes); Drain never retracts. Cost is O(drained), independent of
+// the accumulated result-set size — the property the convoyd ingest hot
+// path relies on.
+func (mn *Miner) Drain() []model.Convoy {
+	out := mn.fresh
+	mn.fresh = nil
+	return out
+}
+
+// Last returns the most recently stepped timestamp; ok is false before the
+// first Step (and after a Reset).
+func (mn *Miner) Last() (t int32, ok bool) { return mn.lastT, mn.started }
+
+// Reset returns the miner to its initial state: no alive candidates, no
+// results, no timestamp history. The parameters are kept, so a reset miner
+// can be reused for a fresh stream instead of allocating a new one.
+func (mn *Miner) Reset() {
+	mn.alive = nil
+	mn.results = model.NewConvoySet()
+	mn.fresh = nil
+	mn.lastT = 0
+	mn.started = false
+}
 
 // Mine runs PCCD over every snapshot of the store: the paper's sequential
 // baseline access pattern (cluster all the data at every timestamp).

@@ -1,0 +1,82 @@
+package minetest
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dbscan"
+	"repro/internal/model"
+)
+
+// TestRandomCliqueGuarantee verifies the generator's premise over many
+// seeds and sizes: every cluster at every tick is a clique. The public
+// differential tests build on exactly this property.
+func TestRandomCliqueGuarantee(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		nObj := 6 + int(seed%7)
+		nTicks := 10 + int(seed%11)
+		ds := RandomClique(seed, nObj, nTicks)
+		for _, m := range []int{2, 3} {
+			if !CliqueClusters(ds, Eps, m) {
+				t.Fatalf("seed %d (%d objs × %d ticks, m=%d): non-clique cluster", seed, nObj, nTicks, m)
+			}
+		}
+	}
+}
+
+// TestRandomCliqueHasConvoys guards against a vacuous generator: across
+// seeds, the datasets must actually contain groups that persist (otherwise
+// the differential tests would compare empty sets).
+func TestRandomCliqueHasConvoys(t *testing.T) {
+	nonEmpty := 0
+	for seed := int64(0); seed < 20; seed++ {
+		ds := RandomClique(seed, 10, 16)
+		if ds.NumPoints() == 0 {
+			t.Fatalf("seed %d: empty dataset", seed)
+		}
+		ts, te := ds.TimeRange()
+		if int(te-ts)+1 != 16 {
+			t.Fatalf("seed %d: time range [%d,%d]", seed, ts, te)
+		}
+		// Count ticks with at least one cluster of size ≥ 3.
+		if len(clustersAt(ds, 3)) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 15 {
+		t.Fatalf("only %d/20 clique datasets have group structure", nonEmpty)
+	}
+}
+
+func clustersAt(ds *model.Dataset, m int) []model.ObjSet {
+	var all []model.ObjSet
+	ts, te := ds.TimeRange()
+	for tt := ts; tt <= te; tt++ {
+		all = append(all, dbscan.Cluster(ds.Snapshot(tt), Eps, m)...)
+	}
+	return all
+}
+
+func TestDiffConvoys(t *testing.T) {
+	a := []model.Convoy{model.NewConvoy(model.NewObjSet(1, 2), 0, 4)}
+	b := []model.Convoy{model.NewConvoy(model.NewObjSet(1, 2), 0, 4)}
+	if d := DiffConvoys("a", a, "b", b); d != "" {
+		t.Fatalf("equal sets diffed: %s", d)
+	}
+	b = append(b, model.NewConvoy(model.NewObjSet(3, 4, 5), 2, 9))
+	d := DiffConvoys("a", a, "b", b)
+	if d == "" {
+		t.Fatal("different sets reported equal")
+	}
+	if want := "only in b: ({3,4,5},[2,9])"; !strings.Contains(d, want) {
+		t.Fatalf("diff %q does not mention %q", d, want)
+	}
+}
+
+func TestCanonicalIsOrderInsensitive(t *testing.T) {
+	c1 := model.NewConvoy(model.NewObjSet(1, 2), 0, 4)
+	c2 := model.NewConvoy(model.NewObjSet(3, 4), 1, 6)
+	if Canonical([]model.Convoy{c1, c2}) != Canonical([]model.Convoy{c2, c1}) {
+		t.Fatal("Canonical depends on input order")
+	}
+}

@@ -21,6 +21,33 @@ func Size(n int) int {
 	return n
 }
 
+// Group manages a fixed set of long-lived workers — the shard actors of the
+// convoyd server, as opposed to ForEach's run-to-completion task fan-out.
+// Workers are expected to exit when their input source is closed; Wait
+// blocks until all of them have returned.
+type Group struct {
+	wg sync.WaitGroup
+}
+
+// Go starts n long-lived workers running fn(i) for i in [0, n) and returns
+// a Group to wait on. Unlike ForEach, n is the exact goroutine count (no
+// normalisation): each worker owns the state at its index for its whole
+// lifetime, which is what gives actor-per-shard designs their determinism.
+func Go(n int, fn func(i int)) *Group {
+	g := &Group{}
+	g.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer g.wg.Done()
+			fn(i)
+		}()
+	}
+	return g
+}
+
+// Wait blocks until every worker started by Go has returned.
+func (g *Group) Wait() { g.wg.Wait() }
+
 // ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
 // and blocks until all tasks finish. Tasks are handed out in index order;
 // callers write results into index-addressed slots, which keeps the

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"sync"
+
+	convoy "repro"
+)
+
+// feed is one trajectory feed (a dataset/region key). Its mining state —
+// the StreamMiner, the reordering buffer, and the published-convoy
+// bookkeeping used to detect novelty — is owned exclusively by the shard
+// actor the feed hashes to; no lock protects it and none is needed.
+//
+// The published state below mu is the read side: HTTP handlers serve
+// long-polls and stats from it, and the persistence tick drains it.
+type feed struct {
+	name  string
+	shard int
+
+	// --- owned by the shard actor goroutine, unguarded -------------------
+	miner   *convoy.StreamMiner
+	buf     *reorder
+	pubSeen map[string]bool // convoy keys already published
+	done    bool            // feed was flushed; further ingest is dropped
+
+	// --- published state, guarded by mu ----------------------------------
+	mu        sync.Mutex
+	closed    []convoy.Convoy // every closed convoy, in discovery order
+	flushed   bool
+	final     []convoy.Convoy // full maximal set, valid once flushed
+	notify    chan struct{}   // closed and replaced on every publish
+	persisted int             // prefix of closed already in the sink
+	stats     FeedStats
+}
+
+// FeedStats are the per-feed counters exposed by /v1/stats.
+type FeedStats struct {
+	SnapshotsIn    int64 `json:"snapshots_in"`    // snapshots accepted into the buffer
+	TicksMined     int64 `json:"ticks_mined"`     // sealed ticks fed to the miner
+	LateDropped    int64 `json:"late_dropped"`    // snapshots behind the watermark
+	FlushedDropped int64 `json:"flushed_dropped"` // snapshots racing an earlier flush
+	ClosedTotal    int64 `json:"closed_total"`    // convoys published so far
+	PendingTicks   int   `json:"pending_ticks"`   // buffered, not yet sealed
+}
+
+func newFeed(name string, shard int, p convoy.Params, window int32) (*feed, error) {
+	m, err := convoy.NewStreamMiner(p)
+	if err != nil {
+		return nil, err
+	}
+	return &feed{
+		name:    name,
+		shard:   shard,
+		miner:   m,
+		buf:     newReorder(window),
+		pubSeen: map[string]bool{},
+		notify:  make(chan struct{}),
+	}, nil
+}
+
+// publish appends newly closed convoys to the published list and wakes all
+// long-pollers. Called only from the owning shard actor.
+func (f *feed) publish(cs []convoy.Convoy) {
+	fresh := cs[:0:0]
+	for _, c := range cs {
+		if !f.pubSeen[c.Key()] {
+			f.pubSeen[c.Key()] = true
+			fresh = append(fresh, c)
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats.PendingTicks = f.buf.pendingTicks()
+	if len(fresh) == 0 {
+		return
+	}
+	f.closed = append(f.closed, fresh...)
+	f.stats.ClosedTotal = int64(len(f.closed))
+	close(f.notify)
+	f.notify = make(chan struct{})
+}
+
+// markFlushed records the final result set and wakes all long-pollers.
+// Called only from the owning shard actor.
+func (f *feed) markFlushed(final []convoy.Convoy) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.flushed = true
+	f.final = final
+	f.stats.PendingTicks = 0
+	close(f.notify)
+	f.notify = make(chan struct{})
+}
+
+// snapshotStats returns a consistent copy of the published counters.
+func (f *feed) snapshotStats() (FeedStats, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats, f.flushed
+}

@@ -1,0 +1,245 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	convoy "repro"
+	"repro/internal/model"
+)
+
+// The wire types of the JSON API. Positions mirror model.ObjPos; convoys
+// mirror model.Convoy.
+
+type positionJSON struct {
+	OID int32   `json:"oid"`
+	X   float64 `json:"x"`
+	Y   float64 `json:"y"`
+}
+
+type snapshotJSON struct {
+	T         int32          `json:"t"`
+	Positions []positionJSON `json:"positions"`
+}
+
+type ingestRequest struct {
+	Snapshots []snapshotJSON `json:"snapshots"`
+}
+
+type ingestResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+type convoyJSON struct {
+	Objs  []int32 `json:"objs"`
+	Start int32   `json:"start"`
+	End   int32   `json:"end"`
+}
+
+type convoysResponse struct {
+	Cursor  int          `json:"cursor"`
+	Convoys []convoyJSON `json:"convoys"`
+	Flushed bool         `json:"flushed"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxIngestBody bounds one ingest request (16 MiB of JSON).
+const maxIngestBody = 16 << 20
+
+// maxLongPoll caps the wait parameter of the convoys endpoint.
+const maxLongPoll = 60 * time.Second
+
+// Handler returns the convoyd HTTP API:
+//
+//	POST /v1/feeds/{feed}/snapshots   JSON ingest (batch of snapshots)
+//	GET  /v1/feeds/{feed}/convoys     closed convoys since ?cursor, long-poll via ?wait
+//	POST /v1/feeds/{feed}/flush       end the feed, return the full maximal set
+//	GET  /v1/stats                    shard queues + per-feed counters
+//	GET  /healthz                     liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/feeds/{feed}/snapshots", s.handleIngest)
+	mux.HandleFunc("GET /v1/feeds/{feed}/convoys", s.handleConvoys)
+	mux.HandleFunc("POST /v1/feeds/{feed}/flush", s.handleFlush)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("feed")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "empty feed name")
+		return
+	}
+	var req ingestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad ingest body: "+err.Error())
+		return
+	}
+	if len(req.Snapshots) == 0 {
+		writeError(w, http.StatusBadRequest, "no snapshots in batch")
+		return
+	}
+	batch := make([]tick, 0, len(req.Snapshots))
+	for _, sn := range req.Snapshots {
+		pos := make([]model.ObjPos, 0, len(sn.Positions))
+		for _, p := range sn.Positions {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+				writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("non-finite coordinate for oid %d at t=%d", p.OID, sn.T))
+				return
+			}
+			pos = append(pos, model.ObjPos{OID: p.OID, X: p.X, Y: p.Y})
+		}
+		batch = append(batch, tick{t: sn.T, pos: pos})
+	}
+	f, err := s.feedFor(name, true)
+	if err != nil {
+		writeServerError(w, err)
+		return
+	}
+	if _, flushed := f.snapshotStats(); flushed {
+		writeError(w, http.StatusConflict, "feed already flushed")
+		return
+	}
+	if err := s.enqueue(shardMsg{feed: f, snaps: batch}); err != nil {
+		writeServerError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(ingestResponse{Accepted: len(batch)})
+}
+
+func (s *Server) handleConvoys(w http.ResponseWriter, r *http.Request) {
+	f, err := s.feedFor(r.PathValue("feed"), false)
+	if err != nil {
+		writeServerError(w, err)
+		return
+	}
+	if f == nil {
+		writeError(w, http.StatusNotFound, "unknown feed")
+		return
+	}
+	var cursor int
+	if c := r.URL.Query().Get("cursor"); c != "" {
+		cursor, err = strconv.Atoi(c)
+		if err != nil || cursor < 0 {
+			writeError(w, http.StatusBadRequest, "bad cursor")
+			return
+		}
+	}
+	var wait time.Duration
+	if ws := r.URL.Query().Get("wait"); ws != "" {
+		wait, err = time.ParseDuration(ws)
+		if err != nil || wait < 0 {
+			writeError(w, http.StatusBadRequest, "bad wait duration")
+			return
+		}
+		if wait > maxLongPoll {
+			wait = maxLongPoll
+		}
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		f.mu.Lock()
+		n, flushed := len(f.closed), f.flushed
+		if n > cursor || flushed || wait == 0 || !time.Now().Before(deadline) {
+			out := make([]convoyJSON, 0, n-min(cursor, n))
+			for _, c := range f.closed[min(cursor, n):] {
+				out = append(out, toConvoyJSON(c))
+			}
+			f.mu.Unlock()
+			writeJSON(w, convoysResponse{Cursor: n, Convoys: out, Flushed: flushed})
+			return
+		}
+		ch := f.notify
+		f.mu.Unlock()
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		}
+	}
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	f, err := s.feedFor(r.PathValue("feed"), false)
+	if err != nil {
+		writeServerError(w, err)
+		return
+	}
+	if f == nil {
+		writeError(w, http.StatusNotFound, "unknown feed")
+		return
+	}
+	reply := make(chan []convoy.Convoy, 1)
+	if err := s.enqueue(shardMsg{feed: f, flushReply: reply}); err != nil {
+		writeServerError(w, err)
+		return
+	}
+	select {
+	case final := <-reply:
+		out := make([]convoyJSON, 0, len(final))
+		for _, c := range final {
+			out = append(out, toConvoyJSON(c))
+		}
+		// The cursor lives in the /convoys domain (an index into the feed's
+		// published-closed list), which is not the same as len(final): the
+		// published list also holds convoys later superseded in the maximal
+		// set. Report the real position so a client can keep polling with it.
+		f.mu.Lock()
+		cursor := len(f.closed)
+		f.mu.Unlock()
+		writeJSON(w, convoysResponse{Cursor: cursor, Convoys: out, Flushed: true})
+	case <-r.Context().Done():
+		// The flush still completes server-side; the client just left.
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+func toConvoyJSON(c convoy.Convoy) convoyJSON {
+	return convoyJSON{Objs: append([]int32(nil), c.Objs...), Start: c.Start, End: c.End}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}
+
+// writeServerError maps sentinel errors to HTTP statuses.
+func writeServerError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrBackpressure), errors.Is(err, ErrFeedLimit):
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}

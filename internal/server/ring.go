@@ -1,0 +1,67 @@
+package server
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring mapping feed keys onto shard indices.
+// Each shard owns `replicas` virtual points on a uint64 circle; a feed is
+// owned by the shard whose point follows the feed's hash clockwise.
+//
+// Consistent hashing (rather than hash-mod-N) keeps feed→shard assignments
+// mostly stable when the operator changes the shard count between restarts:
+// growing from S to S+1 shards moves only ~1/(S+1) of the feeds, so a
+// persisted convoy log keyed by feed stays colocated with its shard's
+// output for the bulk of the keyspace.
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// defaultReplicas is the virtual-node count per shard. A few hundred points
+// per shard keeps every shard's share of the keyspace within a small factor
+// of the mean (ring construction is a one-off cost at startup).
+const defaultReplicas = 512
+
+func newRing(shards, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	r := &ring{points: make([]ringPoint, 0, shards*replicas)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < replicas; v++ {
+			h := hashKey("shard-" + strconv.Itoa(s) + "-vnode-" + strconv.Itoa(v))
+			r.points = append(r.points, ringPoint{hash: h, shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.shard < b.shard // stable tie-break keeps lookup deterministic
+	})
+	return r
+}
+
+// lookup returns the shard owning key.
+func (r *ring) lookup(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around the circle
+	}
+	return r.points[i].shard
+}
+
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

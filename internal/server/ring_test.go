@@ -1,0 +1,56 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndTotal(t *testing.T) {
+	r1 := newRing(8, 0)
+	r2 := newRing(8, 0)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("feed-%d", i)
+		s1, s2 := r1.lookup(key), r2.lookup(key)
+		if s1 != s2 {
+			t.Fatalf("key %q: lookup not deterministic (%d vs %d)", key, s1, s2)
+		}
+		if s1 < 0 || s1 >= 8 {
+			t.Fatalf("key %q: shard %d out of range", key, s1)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const shards, keys = 8, 4000
+	r := newRing(shards, 0)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.lookup(fmt.Sprintf("dataset/region-%d", i))]++
+	}
+	mean := keys / shards
+	for s, c := range counts {
+		if c < mean/3 || c > mean*3 {
+			t.Fatalf("shard %d holds %d of %d keys (mean %d): ring badly unbalanced %v",
+				s, c, keys, mean, counts)
+		}
+	}
+}
+
+// TestRingStability: growing the shard count moves only a minority of keys —
+// the property that distinguishes consistent hashing from hash-mod-N.
+func TestRingStability(t *testing.T) {
+	const keys = 2000
+	small, big := newRing(8, 0), newRing(9, 0)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("feed-%d", i)
+		if small.lookup(key) != big.lookup(key) {
+			moved++
+		}
+	}
+	// Ideal is keys/9 ≈ 11%; anything under a third proves we are nowhere
+	// near mod-N behaviour (which moves ~8/9 ≈ 89%).
+	if moved > keys/3 {
+		t.Fatalf("resharding 8→9 moved %d/%d keys", moved, keys)
+	}
+}

@@ -1,0 +1,332 @@
+// Package server implements convoyd, the sharded streaming convoy-mining
+// service: many concurrent trajectory feeds arrive over HTTP (JSON ingest),
+// each feed key is routed by consistent hashing to one of a configurable
+// number of shard actors, and each actor owns the StreamMiners of its
+// feeds. Closed convoys are queryable per feed (long-poll or flush) and are
+// periodically persisted to the closed-convoy sink in internal/storage.
+//
+// The concurrency design is actor-per-shard:
+//
+//   - the HTTP layer parses and routes, but never mines;
+//   - a bounded ingest queue per shard gives backpressure (enqueue fails
+//     with ErrBackpressure once the queue is full and the configured wait
+//     has elapsed; the HTTP layer maps that to 429);
+//   - one goroutine per shard consumes its queue, so per-feed mining state
+//     is single-owner and lock-free, and per-feed output is deterministic:
+//     it depends only on the sequence of batches for that feed, never on
+//     scheduling;
+//   - a bounded reordering buffer per feed tolerates out-of-order snapshot
+//     arrival within a configurable time window (see reorder.go).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	convoy "repro"
+	"repro/internal/pool"
+	"repro/internal/storage"
+)
+
+// ErrBackpressure is returned by enqueue when a shard's ingest queue stayed
+// full for the configured wait; the HTTP layer maps it to 429.
+var ErrBackpressure = errors.New("server: shard ingest queue full")
+
+// ErrClosed is returned once the server is shutting down.
+var ErrClosed = errors.New("server: closed")
+
+// ErrFeedLimit is returned when creating one more feed would exceed
+// Config.MaxFeeds; the HTTP layer maps it to 429.
+var ErrFeedLimit = errors.New("server: feed limit reached")
+
+// Config tunes a convoyd server. The zero value of each field selects the
+// documented default.
+type Config struct {
+	// Params are the convoy parameters every feed is mined with.
+	Params convoy.Params
+	// Shards is the number of shard actors (default 8).
+	Shards int
+	// QueueLen is the per-shard ingest queue capacity, in batches
+	// (default 128).
+	QueueLen int
+	// Window is the reordering window in ticks: snapshots arriving out of
+	// order within the window are resequenced; later ones are dropped as
+	// late (default 0 = strict in-order ingest).
+	Window int32
+	// EnqueueWait bounds how long an ingest blocks waiting for queue space
+	// before failing with ErrBackpressure (default 0 = fail immediately).
+	EnqueueWait time.Duration
+	// PersistPath, when non-empty, is the closed-convoy sink: every closed
+	// convoy is appended to this log by a periodic background tick.
+	PersistPath string
+	// PersistEvery is the persistence interval (default 2s).
+	PersistEvery time.Duration
+	// MaxFeeds caps the number of live feeds; ingest to a new feed key
+	// beyond the cap fails with ErrFeedLimit (default 65536). Each feed
+	// owns a miner and result history, so an unbounded feed namespace
+	// would let one misbehaving client exhaust memory.
+	MaxFeeds int
+	// Replicas is the virtual-node count per shard on the consistent-hash
+	// ring (default 512, see ring.go); tests lower it.
+	Replicas int
+
+	// testHook, when set (same-package tests only), runs at the start of
+	// every shard-actor message; tests use it to stall a shard and exercise
+	// backpressure. It must be set before New so actors never race on it.
+	testHook func(shardID int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 128
+	}
+	if c.Window < 0 {
+		c.Window = 0
+	}
+	if c.PersistEvery <= 0 {
+		c.PersistEvery = 2 * time.Second
+	}
+	if c.MaxFeeds <= 0 {
+		c.MaxFeeds = 65536
+	}
+	return c
+}
+
+// Server is a convoyd instance. Create with New, serve via Handler, stop
+// with Close.
+type Server struct {
+	cfg  Config
+	ring *ring
+
+	shards  []*shard
+	workers *pool.Group
+
+	mu    sync.RWMutex // guards feeds and closed
+	feeds map[string]*feed
+	// closed is set by Close before the shard queues are closed; enqueue
+	// holds mu.RLock while sending, so no send can race the close.
+	closed bool
+
+	sink        *storage.ConvoyLog
+	sinkBroken  atomic.Bool // first sink write error disables persistence
+	persistStop chan struct{}
+	persistDone chan struct{}
+
+	// testHook is copied from Config.testHook before the actors start.
+	testHook func(shardID int)
+}
+
+// New creates a server. Params are validated by the first feed's miner
+// construction, so invalid params are rejected eagerly here instead.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if _, err := convoy.NewStreamMiner(cfg.Params); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		ring:     newRing(cfg.Shards, cfg.Replicas),
+		feeds:    map[string]*feed{},
+		testHook: cfg.testHook,
+	}
+	if cfg.PersistPath != "" {
+		sink, err := storage.CreateConvoyLog(cfg.PersistPath)
+		if err != nil {
+			return nil, err
+		}
+		s.sink = sink
+	}
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = &shard{id: i, in: make(chan shardMsg, cfg.QueueLen), srv: s}
+	}
+	s.workers = pool.Go(cfg.Shards, func(i int) { s.shards[i].run() })
+	if s.sink != nil {
+		s.persistStop = make(chan struct{})
+		s.persistDone = make(chan struct{})
+		go s.persistLoop()
+	}
+	return s, nil
+}
+
+// Close drains the shard actors and, when persistence is configured, writes
+// every remaining closed convoy to the sink. In-flight enqueues finish
+// first; new requests fail with ErrClosed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		close(sh.in)
+	}
+	s.mu.Unlock()
+	s.workers.Wait()
+	var err error
+	if s.sink != nil {
+		close(s.persistStop)
+		<-s.persistDone
+		s.persistAll()
+		err = s.sink.Close()
+	}
+	return err
+}
+
+// feedFor returns the feed for name, creating it on first use when create
+// is set.
+func (s *Server) feedFor(name string, create bool) (*feed, error) {
+	s.mu.RLock()
+	f := s.feeds[name]
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if f != nil || !create {
+		return f, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if f = s.feeds[name]; f != nil {
+		return f, nil
+	}
+	if len(s.feeds) >= s.cfg.MaxFeeds {
+		return nil, ErrFeedLimit
+	}
+	f, err := newFeed(name, s.ring.lookup(name), s.cfg.Params, s.cfg.Window)
+	if err != nil {
+		return nil, fmt.Errorf("server: feed %q: %w", name, err)
+	}
+	s.feeds[name] = f
+	return f, nil
+}
+
+// enqueue routes msg to its feed's shard, applying backpressure. It holds
+// the read lock across the channel send so Close cannot close the queue
+// under it.
+func (s *Server) enqueue(msg shardMsg) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	sh := s.shards[msg.feed.shard]
+	select {
+	case sh.in <- msg:
+		return nil
+	default:
+	}
+	if s.cfg.EnqueueWait <= 0 {
+		return ErrBackpressure
+	}
+	timer := time.NewTimer(s.cfg.EnqueueWait)
+	defer timer.Stop()
+	select {
+	case sh.in <- msg:
+		return nil
+	case <-timer.C:
+		return ErrBackpressure
+	}
+}
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	Shards []ShardStats         `json:"shards"`
+	Feeds  map[string]FeedStats `json:"feeds"`
+	// SinkBroken reports that persistence was disabled by a write error.
+	SinkBroken bool `json:"sink_broken,omitempty"`
+}
+
+// ShardStats is one shard's queue occupancy.
+type ShardStats struct {
+	QueueLen int `json:"queue_len"`
+	QueueCap int `json:"queue_cap"`
+	Feeds    int `json:"feeds"`
+}
+
+// Stats returns a point-in-time snapshot of server counters.
+func (s *Server) Stats() Stats {
+	st := Stats{Feeds: map[string]FeedStats{}, SinkBroken: s.sinkBroken.Load()}
+	st.Shards = make([]ShardStats, len(s.shards))
+	for i, sh := range s.shards {
+		st.Shards[i] = ShardStats{QueueLen: len(sh.in), QueueCap: cap(sh.in)}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for name, f := range s.feeds {
+		fs, _ := f.snapshotStats()
+		st.Feeds[name] = fs
+		st.Shards[f.shard].Feeds++
+	}
+	return st
+}
+
+// persistLoop appends newly closed convoys to the sink every PersistEvery.
+func (s *Server) persistLoop() {
+	defer close(s.persistDone)
+	ticker := time.NewTicker(s.cfg.PersistEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.persistAll()
+		case <-s.persistStop:
+			return
+		}
+	}
+}
+
+// persistAll writes every feed's not-yet-persisted closed convoys to the
+// sink, in discovery order, then syncs. Persistence is at-most-once: the
+// cursor advances before the write, and the first write error disables the
+// sink for the rest of the server's life. Retrying into an append-only
+// buffered log would duplicate the records already in its buffer (and
+// possibly follow a partially flushed record), corrupting the log — a
+// broken disk ends the log at its last good Sync instead.
+func (s *Server) persistAll() {
+	if s.sinkBroken.Load() {
+		return
+	}
+	s.mu.RLock()
+	feeds := make([]*feed, 0, len(s.feeds))
+	for _, f := range s.feeds {
+		feeds = append(feeds, f)
+	}
+	s.mu.RUnlock()
+	wrote := false
+	for _, f := range feeds {
+		f.mu.Lock()
+		fresh := f.closed[f.persisted:]
+		if len(fresh) == 0 {
+			f.mu.Unlock()
+			continue
+		}
+		// Copy under the lock; write outside it so a slow disk does not
+		// stall the actor's publish path.
+		batch := make([]convoy.Convoy, len(fresh))
+		copy(batch, fresh)
+		f.persisted = len(f.closed)
+		f.mu.Unlock()
+		if err := s.sink.AppendAll(f.name, batch); err != nil {
+			s.sinkBroken.Store(true)
+			return
+		}
+		wrote = true
+	}
+	if wrote {
+		if err := s.sink.Sync(); err != nil {
+			s.sinkBroken.Store(true)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	convoy "repro"
+)
+
+// shardMsg is one unit of work on a shard's ingest queue: either a batch of
+// snapshots for a feed, or (when flushReply is non-nil) a flush request.
+// Flushes travel through the same queue as ingest, so a flush observes
+// every batch enqueued before it — FIFO per shard is what makes per-feed
+// output deterministic.
+type shardMsg struct {
+	feed       *feed
+	snaps      []tick
+	flushReply chan []convoy.Convoy
+}
+
+// shard is one actor: a bounded ingest queue plus the goroutine that owns
+// every feed hashed to it. All mining for those feeds happens on this one
+// goroutine, so per-feed state needs no locks and per-feed processing order
+// equals queue order.
+type shard struct {
+	id  int
+	in  chan shardMsg
+	srv *Server
+}
+
+// run is the actor loop; it exits when the queue is closed by Server.Close.
+func (sh *shard) run() {
+	for msg := range sh.in {
+		if hook := sh.srv.testHook; hook != nil {
+			hook(sh.id)
+		}
+		if msg.flushReply != nil {
+			sh.flush(msg.feed, msg.flushReply)
+			continue
+		}
+		sh.ingest(msg.feed, msg.snaps)
+	}
+}
+
+// ingest runs one batch through the feed's reordering buffer and miner.
+func (sh *shard) ingest(f *feed, snaps []tick) {
+	if f.done {
+		// The feed was flushed while this batch sat in the queue. This is a
+		// different failure mode than watermark lateness, so it gets its own
+		// counter — late_dropped stays meaningful for -window tuning.
+		f.mu.Lock()
+		f.stats.FlushedDropped += int64(len(snaps))
+		f.mu.Unlock()
+		return
+	}
+	var accepted, late, mined int64
+	for _, s := range snaps {
+		ready, isLate := f.buf.add(s.t, s.pos)
+		if isLate {
+			late++
+			continue
+		}
+		accepted++
+		mined += int64(len(ready))
+		sh.observe(f, ready)
+	}
+	f.mu.Lock()
+	f.stats.SnapshotsIn += accepted
+	f.stats.LateDropped += late
+	f.stats.TicksMined += mined
+	f.mu.Unlock()
+	f.publish(f.miner.Closed())
+}
+
+// flush drains the reordering buffer, ends the stream, publishes everything
+// and replies with the full maximal result set.
+func (sh *shard) flush(f *feed, reply chan []convoy.Convoy) {
+	if !f.done {
+		rest := f.buf.drain()
+		f.mu.Lock()
+		f.stats.TicksMined += int64(len(rest))
+		f.mu.Unlock()
+		sh.observe(f, rest)
+		final := f.miner.Flush()
+		f.done = true
+		f.publish(final) // convoys first closed by the flush itself
+		f.markFlushed(final)
+	}
+	f.mu.Lock()
+	final := f.final
+	f.mu.Unlock()
+	reply <- final
+}
+
+// observe feeds sealed ticks to the miner. The reordering buffer guarantees
+// strictly increasing timestamps, so Observe cannot fail here; a failure
+// would be a server bug and panics loudly rather than silently dropping
+// data.
+func (sh *shard) observe(f *feed, ticks []tick) {
+	for _, tk := range ticks {
+		if err := f.miner.Observe(tk.t, tk.pos); err != nil {
+			panic("server: reorder buffer emitted non-monotonic tick: " + err.Error())
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// ConvoyLog is the closed-convoy sink of the convoyd server: an append-only
+// binary log of (feed, convoy) records. It is the write-side counterpart of
+// the flat-file point store — the same fixed-width little-endian codec
+// style, but record-oriented because convoys are variable-length.
+//
+// Log layout:
+//
+//	header:  magic "K2CL" | version u32
+//	records: feedLen u16 | feed | start i32 | end i32 | n u32 | n × oid i32
+//
+// Appends are buffered and mutex-serialised, so many shard actors can share
+// one log; Sync flushes the buffer and fsyncs, which is what the server's
+// periodic persistence tick calls.
+type ConvoyLog struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+const (
+	convoyLogMagic   = "K2CL"
+	convoyLogVersion = 1
+	// maxLoggedConvoySize caps the object count a reader will allocate for,
+	// so a corrupt length prefix cannot demand gigabytes.
+	maxLoggedConvoySize = 1 << 24
+)
+
+// LoggedConvoy is one record of a ConvoyLog: a closed convoy together with
+// the feed it was mined from.
+type LoggedConvoy struct {
+	Feed   string
+	Convoy model.Convoy
+}
+
+// CreateConvoyLog creates (or truncates) a convoy log at path.
+func CreateConvoyLog(path string) (*ConvoyLog, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("convoylog: create: %w", err)
+	}
+	l := &ConvoyLog{f: f, w: bufio.NewWriterSize(f, 1<<16)}
+	var hdr [8]byte
+	copy(hdr[0:4], convoyLogMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], convoyLogVersion)
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("convoylog: write header: %w", err)
+	}
+	return l, nil
+}
+
+// Append writes one closed convoy of the given feed to the log. The record
+// is serialised first and handed to the writer in a single call, so a
+// failing write cannot leave a half-built record in the buffer (bytes
+// already flushed to a failing disk may still be partial — after any error
+// the bufio writer is stuck in its error state and the log should be
+// considered ended at the last Sync).
+func (l *ConvoyLog) Append(feed string, c model.Convoy) error {
+	if len(feed) > int(^uint16(0)) {
+		return fmt.Errorf("convoylog: feed name too long (%d bytes)", len(feed))
+	}
+	rec := make([]byte, 0, 2+len(feed)+12+4*len(c.Objs))
+	rec = binary.LittleEndian.AppendUint16(rec, uint16(len(feed)))
+	rec = append(rec, feed...)
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(c.Start))
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(c.End))
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(c.Objs)))
+	for _, oid := range c.Objs {
+		rec = binary.LittleEndian.AppendUint32(rec, uint32(oid))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err := l.w.Write(rec)
+	return err
+}
+
+// AppendAll writes every convoy of one feed.
+func (l *ConvoyLog) AppendAll(feed string, cs []model.Convoy) error {
+	for _, c := range cs {
+		if err := l.Append(feed, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync flushes buffered records and forces them to stable storage.
+func (l *ConvoyLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Close flushes and closes the log.
+func (l *ConvoyLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// ReadConvoyLog reads every record of a convoy log, in append order.
+func ReadConvoyLog(path string) ([]LoggedConvoy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("convoylog: open: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("convoylog: read header: %w", err)
+	}
+	if string(hdr[0:4]) != convoyLogMagic {
+		return nil, errors.New("convoylog: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != convoyLogVersion {
+		return nil, fmt.Errorf("convoylog: unsupported version %d", v)
+	}
+	var out []LoggedConvoy
+	for {
+		var lenBuf [2]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("convoylog: read record %d: %w", len(out), err)
+		}
+		feedLen := int(binary.LittleEndian.Uint16(lenBuf[:]))
+		rec := make([]byte, feedLen+12)
+		if _, err := io.ReadFull(r, rec); err != nil {
+			return nil, fmt.Errorf("convoylog: read record %d: %w", len(out), err)
+		}
+		feed := string(rec[:feedLen])
+		start := int32(binary.LittleEndian.Uint32(rec[feedLen : feedLen+4]))
+		end := int32(binary.LittleEndian.Uint32(rec[feedLen+4 : feedLen+8]))
+		n := binary.LittleEndian.Uint32(rec[feedLen+8 : feedLen+12])
+		if n > maxLoggedConvoySize {
+			return nil, fmt.Errorf("convoylog: record %d: implausible object count %d", len(out), n)
+		}
+		oidBuf := make([]byte, 4*int(n))
+		if _, err := io.ReadFull(r, oidBuf); err != nil {
+			return nil, fmt.Errorf("convoylog: read record %d oids: %w", len(out), err)
+		}
+		objs := make(model.ObjSet, n)
+		for i := range objs {
+			objs[i] = int32(binary.LittleEndian.Uint32(oidBuf[4*i : 4*i+4]))
+		}
+		out = append(out, LoggedConvoy{Feed: feed, Convoy: model.Convoy{Objs: objs, Start: start, End: end}})
+	}
+}

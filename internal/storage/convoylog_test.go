@@ -1,0 +1,92 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestConvoyLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "closed.k2cl")
+	l, err := CreateConvoyLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []LoggedConvoy{
+		{Feed: "tokyo", Convoy: model.NewConvoy(model.NewObjSet(1, 2, 3), 0, 9)},
+		{Feed: "osaka", Convoy: model.NewConvoy(model.NewObjSet(7), -5, -1)},
+		{Feed: "tokyo", Convoy: model.NewConvoy(nil, 3, 3)},
+		{Feed: "", Convoy: model.NewConvoy(model.NewObjSet(-1, 0, 1<<30), 100, 200)},
+	}
+	for _, r := range want {
+		if err := l.Append(r.Feed, r.Convoy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadConvoyLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Feed != want[i].Feed || !got[i].Convoy.Equal(want[i].Convoy) {
+			t.Fatalf("record %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConvoyLogEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.k2cl")
+	l, err := CreateConvoyLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadConvoyLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty log read %d records", len(got))
+	}
+}
+
+func TestConvoyLogRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.k2cl")
+	if err := os.WriteFile(bad, []byte("not a convoy log at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadConvoyLog(bad); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	truncated := filepath.Join(dir, "trunc.k2cl")
+	l, err := CreateConvoyLog(truncated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append("feed", model.NewConvoy(model.NewObjSet(1, 2, 3), 0, 4))
+	l.Close()
+	data, err := os.ReadFile(truncated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(truncated, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadConvoyLog(truncated); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}

@@ -1,6 +1,8 @@
 package convoy
 
 import (
+	"fmt"
+
 	"repro/internal/cmc"
 	"repro/internal/dbscan"
 	"repro/internal/model"
@@ -17,10 +19,12 @@ import (
 // connectivity retroactively without storing history; Closed() therefore
 // reports partially connected convoys (like CMC/PCCD). Run the k/2-hop
 // batch miner over persisted history for FC results.
+//
+// A StreamMiner is not safe for concurrent use; the convoyd server gives
+// each feed a single owning shard actor for exactly this reason.
 type StreamMiner struct {
 	params Params
 	miner  *cmc.Miner
-	closed []Convoy
 	seen   map[string]bool
 }
 
@@ -37,27 +41,39 @@ func NewStreamMiner(p Params) (*StreamMiner, error) {
 }
 
 // Observe ingests the positions of one timestamp. Timestamps must arrive in
-// increasing order; gaps close all open convoys (objects cannot be
-// "together" at a missing tick).
-func (s *StreamMiner) Observe(t int32, positions []ObjPos) {
+// strictly increasing order; an out-of-order or duplicate timestamp is
+// rejected with an error and leaves the miner untouched. The order may have
+// gaps: a gap closes all open convoys (objects cannot be "together" at a
+// missing tick), so mining restarts fresh at t.
+func (s *StreamMiner) Observe(t int32, positions []ObjPos) error {
+	if last, ok := s.miner.Last(); ok && t <= last {
+		return fmt.Errorf("convoy: non-monotonic stream: observed t=%d after t=%d", t, last)
+	}
 	s.miner.Step(t, dbscan.Cluster(positions, s.params.Eps, s.params.M))
+	return nil
 }
+
+// Last returns the most recently observed timestamp; ok is false before the
+// first Observe (and after a Reset).
+func (s *StreamMiner) Last() (t int32, ok bool) { return s.miner.Last() }
 
 // ObjPos is an object's position within one snapshot.
 type ObjPos = model.ObjPos
 
-// Closed drains the convoys that have closed since the last call. A convoy
-// is closed when its group can no longer be extended at the most recent
-// observed timestamp.
+// Closed drains the convoys that have closed since the last call, in the
+// order they closed. A convoy is closed when its group can no longer be
+// extended at the most recent observed timestamp.
 //
 // The miner keeps its result set maximal across the whole stream, so a
 // convoy may be reported once and later superseded by a longer/larger one;
 // Closed deduplicates by identity but does not retract — downstream
 // consumers that need global maximality should apply
-// model.MaximalConvoys at the end of the stream.
+// model.MaximalConvoys at the end of the stream. Cost is proportional to
+// the newly closed convoys, not the accumulated result set, so polling
+// after every batch stays cheap on long-lived streams.
 func (s *StreamMiner) Closed() []Convoy {
 	var out []Convoy
-	for _, c := range s.snapshotResults() {
+	for _, c := range s.miner.Drain() {
 		if !s.seen[c.Key()] {
 			s.seen[c.Key()] = true
 			out = append(out, c)
@@ -73,8 +89,10 @@ func (s *StreamMiner) Flush() []Convoy {
 	return s.miner.Finish()
 }
 
-// snapshotResults peeks at the miner's current result set without closing
-// alive candidates.
-func (s *StreamMiner) snapshotResults() []Convoy {
-	return s.miner.Results()
+// Reset returns the miner to its initial state, discarding all open
+// candidates, closed convoys and timestamp history while keeping the
+// parameters. After a Reset the miner accepts any timestamp again.
+func (s *StreamMiner) Reset() {
+	s.miner.Reset()
+	s.seen = map[string]bool{}
 }

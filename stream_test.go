@@ -81,3 +81,91 @@ func TestStreamMinerValidation(t *testing.T) {
 		t.Fatalf("invalid params should fail")
 	}
 }
+
+// TestStreamMinerRejectsNonMonotonic is the regression test for the
+// documented-but-unchecked contract: timestamps must be strictly
+// increasing, and a violating Observe must leave the miner untouched.
+func TestStreamMinerRejectsNonMonotonic(t *testing.T) {
+	sm, err := NewStreamMiner(Params{M: 2, K: 2, Eps: minetest.Eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := []ObjPos{{OID: 1, X: 0}, {OID: 2, X: 1}}
+	if err := sm.Observe(3, pair); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Observe(3, pair); err == nil {
+		t.Fatal("duplicate timestamp accepted")
+	}
+	if err := sm.Observe(2, pair); err == nil {
+		t.Fatal("decreasing timestamp accepted")
+	}
+	if last, ok := sm.Last(); !ok || last != 3 {
+		t.Fatalf("Last() = %d,%v after rejected observes, want 3,true", last, ok)
+	}
+	// The rejected snapshots must not have perturbed mining.
+	if err := sm.Observe(4, pair); err != nil {
+		t.Fatal(err)
+	}
+	got := sm.Flush()
+	want := []Convoy{model.NewConvoy(NewObjSet(1, 2), 3, 4)}
+	if !model.ConvoysEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// TestStreamMinerGapReportsWithoutFlush pins down the "gaps close all open
+// convoys" contract on the live path: after a gap, the closed convoy is
+// observable through Closed() immediately — no Flush needed.
+func TestStreamMinerGapReportsWithoutFlush(t *testing.T) {
+	sm, err := NewStreamMiner(Params{M: 2, K: 2, Eps: minetest.Eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := []ObjPos{{OID: 1, X: 0}, {OID: 2, X: 1}}
+	for _, tt := range []int32{0, 1, 2} {
+		if err := sm.Observe(tt, pair); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sm.Closed(); len(got) != 0 {
+		t.Fatalf("nothing should close while alive: %v", got)
+	}
+	if err := sm.Observe(10, pair); err != nil { // gap: ticks 3..9 missing
+		t.Fatal(err)
+	}
+	got := sm.Closed()
+	want := model.NewConvoy(NewObjSet(1, 2), 0, 2)
+	if len(got) != 1 || !got[0].Equal(want) {
+		t.Fatalf("closed after gap = %v, want [%v]", got, want)
+	}
+}
+
+func TestStreamMinerReset(t *testing.T) {
+	sm, err := NewStreamMiner(Params{M: 2, K: 2, Eps: minetest.Eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := []ObjPos{{OID: 1, X: 0}, {OID: 2, X: 1}}
+	for _, tt := range []int32{5, 6, 7} {
+		if err := sm.Observe(tt, pair); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sm.Reset()
+	if _, ok := sm.Last(); ok {
+		t.Fatal("Last() valid after Reset")
+	}
+	// Timestamps from before the reset point are acceptable again, and no
+	// pre-reset state leaks into the results.
+	for _, tt := range []int32{0, 1, 2} {
+		if err := sm.Observe(tt, pair); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := sm.Flush()
+	want := []Convoy{model.NewConvoy(NewObjSet(1, 2), 0, 2)}
+	if !model.ConvoysEqual(got, want) {
+		t.Fatalf("after reset got %v, want %v", got, want)
+	}
+}
