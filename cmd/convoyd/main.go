@@ -6,7 +6,16 @@
 // Example:
 //
 //	convoyd -addr :8080 -m 3 -k 4 -eps 1.5 -shards 8 -window 4 \
-//	        -persist /tmp/closed.k2cl
+//	        -persist /tmp/closed.k2cl -feed-ttl 10m
+//
+// With -persist, the server is restartable: an existing log is replayed at
+// startup (recovering per-feed cursor positions and dedup state), a torn
+// tail record from a crash is truncated away, and SIGINT/SIGTERM shut down
+// gracefully with a final persist of every closed convoy. Memory stays
+// bounded by -feed-ttl (idle-feed eviction) and by history truncation:
+// convoys already in the log are dropped from memory and queries below the
+// truncation point answer 410 Gone (see docs/ARCHITECTURE.md "Memory
+// limits").
 //
 //	curl -s -X POST localhost:8080/v1/feeds/osaka/snapshots -d '{
 //	  "snapshots": [{"t": 0, "positions": [{"oid": 1, "x": 0, "y": 0}]}]}'
@@ -16,7 +25,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -28,6 +36,7 @@ import (
 
 	convoy "repro"
 	"repro/internal/server"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -40,10 +49,35 @@ func main() {
 		queue        = flag.Int("queue", 128, "per-shard ingest queue capacity (batches)")
 		window       = flag.Int("window", 0, "reordering window in ticks (0 = strict in-order)")
 		wait         = flag.Duration("enqueue-wait", 250*time.Millisecond, "how long ingest waits for queue space before 429")
-		persist      = flag.String("persist", "", "closed-convoy sink path (empty = no persistence)")
+		persist      = flag.String("persist", "", "closed-convoy sink path (empty = no persistence); an existing log is replayed at startup")
 		persistEvery = flag.Duration("persist-every", 2*time.Second, "persistence interval")
+		feedTTL      = flag.Duration("feed-ttl", 0, "evict feeds idle for this long (0 = never); persisted history survives in the log")
+		evictEvery   = flag.Duration("evict-every", 0, "eviction sweep interval (default feed-ttl/4)")
+		keepHistory  = flag.Bool("keep-history", false, "keep persisted closed-convoy history in memory (grows unbounded; default truncates it once persisted)")
+		compactLog   = flag.Bool("compact-log", false, "compact the persist log before serving (drops duplicate records left by post-eviction replays)")
 	)
 	flag.Parse()
+
+	if *compactLog {
+		if *persist == "" {
+			fmt.Fprintln(os.Stderr, "convoyd: -compact-log requires -persist")
+			os.Exit(1)
+		}
+		switch _, err := os.Stat(*persist); {
+		case os.IsNotExist(err):
+			log.Printf("convoyd: -compact-log: no log at %s yet, nothing to compact", *persist)
+		case err != nil:
+			fmt.Fprintln(os.Stderr, "convoyd: compact:", err)
+			os.Exit(1)
+		default:
+			kept, dropped, err := storage.CompactConvoyLog(*persist)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "convoyd: compact:", err)
+				os.Exit(1)
+			}
+			log.Printf("convoyd: compacted %s: kept %d records, dropped %d duplicates", *persist, kept, dropped)
+		}
+	}
 
 	srv, err := server.New(server.Config{
 		Params:       convoy.Params{M: *m, K: *k, Eps: *eps},
@@ -53,10 +87,16 @@ func main() {
 		EnqueueWait:  *wait,
 		PersistPath:  *persist,
 		PersistEvery: *persistEvery,
+		FeedTTL:      *feedTTL,
+		EvictEvery:   *evictEvery,
+		KeepHistory:  *keepHistory,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "convoyd:", err)
 		os.Exit(1)
+	}
+	if feeds, records := srv.RecoveryInfo(); feeds > 0 {
+		log.Printf("convoyd: recovered %d feeds (%d persisted convoys) from %s", feeds, records, *persist)
 	}
 
 	httpSrv := &http.Server{
@@ -67,19 +107,29 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	go func() {
-		<-ctx.Done()
-		log.Println("convoyd: shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		httpSrv.Shutdown(shutdownCtx)
-	}()
 
 	log.Printf("convoyd: listening on %s (m=%d k=%d eps=%g shards=%d window=%d)",
 		*addr, *m, *k, *eps, *shards, *window)
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-serveErr:
 		fmt.Fprintln(os.Stderr, "convoyd:", err)
 		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain, strictly ordered: Shutdown runs synchronously so
+	// every in-flight request (including long-polls) finishes before
+	// srv.Close() closes the shard queues and writes the final persist —
+	// otherwise a request accepted before the signal could see 503 from a
+	// server that promised to drain it.
+	log.Println("convoyd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Println("convoyd: shutdown timeout, closing anyway:", err)
 	}
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "convoyd: close:", err)

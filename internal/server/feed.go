@@ -2,6 +2,7 @@ package server
 
 import (
 	"sync"
+	"sync/atomic"
 
 	convoy "repro"
 )
@@ -13,6 +14,12 @@ import (
 //
 // The published state below mu is the read side: HTTP handlers serve
 // long-polls and stats from it, and the persistence tick drains it.
+//
+// A feed's published history lives in an absolute cursor domain: convoys
+// are numbered from 0 in publish order, but only the suffix
+// [start, start+len(closed)) is resident — the prefix below start
+// (truncatedBefore) was persisted to the convoy log and dropped from
+// memory. Queries with a cursor below start answer 410 Gone.
 type feed struct {
 	name  string
 	shard int
@@ -20,27 +27,55 @@ type feed struct {
 	// --- owned by the shard actor goroutine, unguarded -------------------
 	miner   *convoy.StreamMiner
 	buf     *reorder
-	pubSeen map[string]bool // convoy keys already published
+	pubSeen map[string]bool // convoy keys already published (or recovered from the log)
 	done    bool            // feed was flushed; further ingest is dropped
 
+	// --- lifecycle coordination (see lifecycle.go) -----------------------
+	// pending counts shard messages enqueued but not yet fully processed;
+	// eviction requires it to be zero so no in-queue work can outlive the
+	// feed. evicted flips once, under the server's write lock; enqueue
+	// checks it under the read lock, so the two can never miss each other.
+	// lastActive is the unix-nano time of the latest ingest, query or
+	// flush touching the feed.
+	// waiters counts long-polls currently blocked on this feed; the sweep
+	// treats a waited-on feed as active, so a poller whose wait exceeds
+	// FeedTTL cannot have the feed evicted out from under it.
+	pending    atomic.Int64
+	waiters    atomic.Int64
+	evicted    atomic.Bool
+	lastActive atomic.Int64
+
 	// --- published state, guarded by mu ----------------------------------
-	mu        sync.Mutex
-	closed    []convoy.Convoy // every closed convoy, in discovery order
+	mu     sync.Mutex
+	closed []convoy.Convoy // resident history suffix: absolute indices [start, head)
+	start  int             // absolute index of closed[0] (truncatedBefore)
+	// persisted is the at-most-once append guard: it advances before the
+	// write so a sink error can never re-append. durable advances only
+	// after a successful Sync covering the records, so it is the safe
+	// bound for anything that discards in-memory state (eviction,
+	// truncation). Invariant: start ≤ durable ≤ persisted ≤ head.
+	persisted int
+	durable   int
 	flushed   bool
-	final     []convoy.Convoy // full maximal set, valid once flushed
-	notify    chan struct{}   // closed and replaced on every publish
-	persisted int             // prefix of closed already in the sink
-	stats     FeedStats
+	// flushLogged records that the flush sentinel reached the log, making
+	// the flushed state restart-durable (written by persistAll once the
+	// whole history is durable).
+	flushLogged bool
+	final       []convoy.Convoy // full maximal set, valid once flushed
+	notify      chan struct{}   // closed and replaced on every publish/flush/evict
+	stats       FeedStats
 }
 
 // FeedStats are the per-feed counters exposed by /v1/stats.
 type FeedStats struct {
-	SnapshotsIn    int64 `json:"snapshots_in"`    // snapshots accepted into the buffer
-	TicksMined     int64 `json:"ticks_mined"`     // sealed ticks fed to the miner
-	LateDropped    int64 `json:"late_dropped"`    // snapshots behind the watermark
-	FlushedDropped int64 `json:"flushed_dropped"` // snapshots racing an earlier flush
-	ClosedTotal    int64 `json:"closed_total"`    // convoys published so far
-	PendingTicks   int   `json:"pending_ticks"`   // buffered, not yet sealed
+	SnapshotsIn     int64 `json:"snapshots_in"`     // snapshots accepted into the buffer
+	TicksMined      int64 `json:"ticks_mined"`      // sealed ticks fed to the miner
+	LateDropped     int64 `json:"late_dropped"`     // snapshots behind the watermark
+	FlushedDropped  int64 `json:"flushed_dropped"`  // snapshots racing an earlier flush
+	ClosedTotal     int64 `json:"closed_total"`     // head: convoys ever published (incl. recovered)
+	TruncatedBefore int   `json:"truncated_before"` // lower bound of the live cursor domain
+	ClosedInMemory  int   `json:"closed_in_memory"` // resident history length (head − truncated_before)
+	PendingTicks    int   `json:"pending_ticks"`    // buffered, not yet sealed
 }
 
 func newFeed(name string, shard int, p convoy.Params, window int32) (*feed, error) {
@@ -57,6 +92,12 @@ func newFeed(name string, shard int, p convoy.Params, window int32) (*feed, erro
 		notify:  make(chan struct{}),
 	}, nil
 }
+
+// head is the absolute end of the published history. Caller holds f.mu.
+func (f *feed) head() int { return f.start + len(f.closed) }
+
+// touch records activity for TTL eviction.
+func (f *feed) touch(nowNanos int64) { f.lastActive.Store(nowNanos) }
 
 // publish appends newly closed convoys to the published list and wakes all
 // long-pollers. Called only from the owning shard actor.
@@ -75,7 +116,8 @@ func (f *feed) publish(cs []convoy.Convoy) {
 		return
 	}
 	f.closed = append(f.closed, fresh...)
-	f.stats.ClosedTotal = int64(len(f.closed))
+	f.stats.ClosedTotal = int64(f.head())
+	f.stats.ClosedInMemory = len(f.closed)
 	close(f.notify)
 	f.notify = make(chan struct{})
 }
@@ -90,6 +132,38 @@ func (f *feed) markFlushed(final []convoy.Convoy) {
 	f.stats.PendingTicks = 0
 	close(f.notify)
 	f.notify = make(chan struct{})
+}
+
+// wake unblocks every long-poller without publishing anything; eviction
+// uses it so pollers observe f.evicted instead of sleeping forever.
+func (f *feed) wake() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	close(f.notify)
+	f.notify = make(chan struct{})
+}
+
+// truncateTo drops the resident history below the absolute index upTo
+// (callers pass a durability watermark, never more than f.durable). The
+// remainder is copied to a fresh slice so the old backing array is
+// released. Returns the number of convoys dropped.
+func (f *feed) truncateTo(upTo int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if upTo > f.durable {
+		upTo = f.durable // never discard anything not yet fsynced
+	}
+	drop := upTo - f.start
+	if drop <= 0 {
+		return 0
+	}
+	rest := make([]convoy.Convoy, len(f.closed)-drop)
+	copy(rest, f.closed[drop:])
+	f.closed = rest
+	f.start = upTo
+	f.stats.TruncatedBefore = f.start
+	f.stats.ClosedInMemory = len(f.closed)
+	return drop
 }
 
 // snapshotStats returns a consistent copy of the published counters.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -42,9 +43,13 @@ type convoyJSON struct {
 }
 
 type convoysResponse struct {
-	Cursor  int          `json:"cursor"`
-	Convoys []convoyJSON `json:"convoys"`
-	Flushed bool         `json:"flushed"`
+	Cursor int `json:"cursor"`
+	// TruncatedBefore is the lower bound of the live cursor domain: convoys
+	// below it were persisted to the log and dropped from memory, and
+	// querying them answers 410 Gone.
+	TruncatedBefore int          `json:"truncated_before"`
+	Convoys         []convoyJSON `json:"convoys"`
+	Flushed         bool         `json:"flushed"`
 }
 
 type errorResponse struct {
@@ -114,7 +119,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "feed already flushed")
 		return
 	}
-	if err := s.enqueue(shardMsg{feed: f, snaps: batch}); err != nil {
+	err = s.enqueue(r.Context(), shardMsg{feed: f, snaps: batch})
+	if errors.Is(err, ErrFeedEvicted) {
+		// The feed was TTL-evicted between lookup and enqueue; start a
+		// fresh feed lifecycle under the same name and retry once.
+		if f, err = s.feedFor(name, true); err == nil {
+			err = s.enqueue(r.Context(), shardMsg{feed: f, snaps: batch})
+		}
+	}
+	if err != nil {
 		writeServerError(w, err)
 		return
 	}
@@ -152,17 +165,63 @@ func (s *Server) handleConvoys(w http.ResponseWriter, r *http.Request) {
 			wait = maxLongPoll
 		}
 	}
+	if !s.touchFeed(f) {
+		writeError(w, http.StatusGone, ErrFeedEvicted.Error())
+		return
+	}
+	if wait > 0 {
+		// A blocked long-poll counts as activity: the sweep skips feeds
+		// with waiters, so a connected client's feed cannot be evicted
+		// under it no matter how its wait compares to FeedTTL. (A sweep
+		// already past this check still wakes us to an explicit 410.)
+		f.waiters.Add(1)
+		defer f.waiters.Add(-1)
+	}
 	deadline := time.Now().Add(wait)
 	for {
 		f.mu.Lock()
-		n, flushed := len(f.closed), f.flushed
-		if n > cursor || flushed || wait == 0 || !time.Now().Before(deadline) {
-			out := make([]convoyJSON, 0, n-min(cursor, n))
-			for _, c := range f.closed[min(cursor, n):] {
+		// Checked under f.mu: eviction stores the flag before wake() takes
+		// this lock to close notify, so a poller either sees the flag here
+		// or captures the notify channel that wake() is about to close —
+		// it can never sleep through its own eviction.
+		if f.evicted.Load() {
+			f.mu.Unlock()
+			writeError(w, http.StatusGone, ErrFeedEvicted.Error())
+			return
+		}
+		head, flushed := f.head(), f.flushed
+		if cursor < f.start {
+			// The requested range was persisted to the log and truncated
+			// from memory: the live cursor domain is [truncatedBefore,
+			// head). 410 tells the client to restart from truncatedBefore
+			// (or replay the persisted log for the full history).
+			start := f.start
+			f.mu.Unlock()
+			writeError(w, http.StatusGone, fmt.Sprintf(
+				"cursor %d predates truncated history; live cursor domain is [%d,%d)", cursor, start, head))
+			return
+		}
+		if cursor > head {
+			// A cursor the current feed incarnation never issued: the feed
+			// was evicted and recreated (the domain restarted), or the
+			// client is confused. Silently clamping would rewind the
+			// client's position and re-deliver convoys it thinks it has
+			// seen — 410 makes the domain reset explicit instead.
+			start := f.start
+			f.mu.Unlock()
+			writeError(w, http.StatusGone, fmt.Sprintf(
+				"cursor %d is beyond this feed's history; live cursor domain is [%d,%d)", cursor, start, head))
+			return
+		}
+		if head > cursor || flushed || wait == 0 || !time.Now().Before(deadline) {
+			lo := cursor - f.start
+			out := make([]convoyJSON, 0, len(f.closed)-lo)
+			for _, c := range f.closed[lo:] {
 				out = append(out, toConvoyJSON(c))
 			}
+			tb := f.start
 			f.mu.Unlock()
-			writeJSON(w, convoysResponse{Cursor: n, Convoys: out, Flushed: flushed})
+			writeJSON(w, convoysResponse{Cursor: head, TruncatedBefore: tb, Convoys: out, Flushed: flushed})
 			return
 		}
 		ch := f.notify
@@ -190,7 +249,7 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reply := make(chan []convoy.Convoy, 1)
-	if err := s.enqueue(shardMsg{feed: f, flushReply: reply}); err != nil {
+	if err := s.enqueue(r.Context(), shardMsg{feed: f, flushReply: reply}); err != nil {
 		writeServerError(w, err)
 		return
 	}
@@ -205,9 +264,9 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		// published list also holds convoys later superseded in the maximal
 		// set. Report the real position so a client can keep polling with it.
 		f.mu.Lock()
-		cursor := len(f.closed)
+		cursor, tb := f.head(), f.start
 		f.mu.Unlock()
-		writeJSON(w, convoysResponse{Cursor: cursor, Convoys: out, Flushed: true})
+		writeJSON(w, convoysResponse{Cursor: cursor, TruncatedBefore: tb, Convoys: out, Flushed: true})
 	case <-r.Context().Done():
 		// The flush still completes server-side; the client just left.
 	}
@@ -232,11 +291,17 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	json.NewEncoder(w).Encode(errorResponse{Error: msg})
 }
 
-// writeServerError maps sentinel errors to HTTP statuses.
+// writeServerError maps sentinel errors to HTTP statuses. A canceled or
+// timed-out request context writes nothing: the client is gone, and the
+// point of threading the context into enqueue is to release the handler
+// goroutine promptly, not to craft a response nobody reads.
 func writeServerError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 	case errors.Is(err, ErrBackpressure), errors.Is(err, ErrFeedLimit):
 		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrFeedEvicted):
+		writeError(w, http.StatusGone, err.Error())
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 	default:

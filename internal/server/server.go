@@ -17,11 +17,19 @@
 //     scheduling;
 //   - a bounded reordering buffer per feed tolerates out-of-order snapshot
 //     arrival within a configurable time window (see reorder.go).
+//
+// Long-lived serving is memory-bounded by the feed lifecycle (see
+// lifecycle.go): idle feeds are evicted after FeedTTL, persisted history is
+// truncated from memory, and a restart replays the convoy log to restore
+// cursor positions and dedup state.
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/metrics"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +50,10 @@ var ErrClosed = errors.New("server: closed")
 // Config.MaxFeeds; the HTTP layer maps it to 429.
 var ErrFeedLimit = errors.New("server: feed limit reached")
 
+// ErrFeedEvicted is returned when a request raced the TTL eviction of its
+// feed; the HTTP layer maps it to 410 (ingest retries with a fresh feed).
+var ErrFeedEvicted = errors.New("server: feed evicted")
+
 // Config tunes a convoyd server. The zero value of each field selects the
 // documented default.
 type Config struct {
@@ -60,18 +72,46 @@ type Config struct {
 	// before failing with ErrBackpressure (default 0 = fail immediately).
 	EnqueueWait time.Duration
 	// PersistPath, when non-empty, is the closed-convoy sink: every closed
-	// convoy is appended to this log by a periodic background tick.
+	// convoy is appended to this log by a periodic background tick. If the
+	// log already exists, New replays it first — recovered feeds start with
+	// their cursor domain fully truncated (everything is in the log) and
+	// with the logged convoy keys preloaded for dedup, so re-ingesting
+	// already-persisted data does not duplicate log records.
 	PersistPath string
 	// PersistEvery is the persistence interval (default 2s).
 	PersistEvery time.Duration
 	// MaxFeeds caps the number of live feeds; ingest to a new feed key
 	// beyond the cap fails with ErrFeedLimit (default 65536). Each feed
 	// owns a miner and result history, so an unbounded feed namespace
-	// would let one misbehaving client exhaust memory.
+	// would let one misbehaving client exhaust memory. TTL eviction frees
+	// slots under the cap.
 	MaxFeeds int
 	// Replicas is the virtual-node count per shard on the consistent-hash
 	// ring (default 512, see ring.go); tests lower it.
 	Replicas int
+	// FeedTTL, when positive, evicts feeds with no ingest, query, or flush
+	// activity for this long; a blocked long-poll counts as activity for
+	// as long as it waits. When a sink is configured a feed is only
+	// evicted once its whole history is durably in the log — if the sink
+	// breaks, feeds with unsynced history are simply never evicted (data
+	// wins over the memory bound; restart to recover). Without a sink,
+	// eviction drops the idle feed's state outright.
+	// Eviction also drops the feed's dedup keys, so data re-ingested after
+	// an eviction can append duplicate records to the log — compaction
+	// (storage.CompactConvoyLog) removes them offline. 0 disables
+	// eviction.
+	FeedTTL time.Duration
+	// EvictEvery is the eviction sweep interval (default FeedTTL/4,
+	// at least 10ms).
+	EvictEvery time.Duration
+	// KeepHistory disables truncation of persisted history. By default,
+	// once a feed's closed convoys have been persisted to the sink they
+	// are dropped from memory and the feed's live cursor domain becomes
+	// [truncatedBefore, head); queries with a cursor below truncatedBefore
+	// answer 410 Gone and must restart from truncatedBefore (or replay the
+	// log). With KeepHistory (or without a sink) the full history stays
+	// resident and every cursor remains valid.
+	KeepHistory bool
 
 	// testHook, when set (same-package tests only), runs at the start of
 	// every shard-actor message; tests use it to stall a shard and exercise
@@ -95,6 +135,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxFeeds <= 0 {
 		c.MaxFeeds = 65536
 	}
+	if c.FeedTTL > 0 && c.EvictEvery <= 0 {
+		c.EvictEvery = max(c.FeedTTL/4, 10*time.Millisecond)
+	}
 	return c
 }
 
@@ -107,8 +150,16 @@ type Server struct {
 	shards  []*shard
 	workers *pool.Group
 
-	mu    sync.RWMutex // guards feeds and closed
+	mu    sync.RWMutex // guards feeds, tombs and closed
 	feeds map[string]*feed
+	// tombs remembers the cursor head of evicted feeds so a feed recreated
+	// under the same name continues its cursor domain instead of
+	// restarting at 0 — without it, a returning client whose stale cursor
+	// happens to fall inside the new incarnation's smaller domain would be
+	// served silently from the wrong history. Bounded: cleared wholesale
+	// if an adversarial feed namespace grows it past 4×MaxFeeds (those
+	// names then restart their domain, the pre-tombstone behavior).
+	tombs map[string]int
 	// closed is set by Close before the shard queues are closed; enqueue
 	// holds mu.RLock while sending, so no send can race the close.
 	closed bool
@@ -118,12 +169,22 @@ type Server struct {
 	persistStop chan struct{}
 	persistDone chan struct{}
 
+	evictStop chan struct{}
+	evictDone chan struct{}
+
+	evictedTotal   atomic.Int64 // feeds evicted over the server's lifetime
+	truncatedTotal atomic.Int64 // convoys truncated from memory over the server's lifetime
+	recoveredFeeds int          // feeds restored from the log at startup
+	recoveredRecs  int          // log records replayed at startup
+
 	// testHook is copied from Config.testHook before the actors start.
 	testHook func(shardID int)
 }
 
 // New creates a server. Params are validated by the first feed's miner
-// construction, so invalid params are rejected eagerly here instead.
+// construction, so invalid params are rejected eagerly here instead. When
+// PersistPath names an existing log, New recovers from it (see
+// Config.PersistPath).
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if _, err := convoy.NewStreamMiner(cfg.Params); err != nil {
@@ -133,14 +194,13 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		ring:     newRing(cfg.Shards, cfg.Replicas),
 		feeds:    map[string]*feed{},
+		tombs:    map[string]int{},
 		testHook: cfg.testHook,
 	}
 	if cfg.PersistPath != "" {
-		sink, err := storage.CreateConvoyLog(cfg.PersistPath)
-		if err != nil {
+		if err := s.recover(); err != nil {
 			return nil, err
 		}
-		s.sink = sink
 	}
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
@@ -152,7 +212,114 @@ func New(cfg Config) (*Server, error) {
 		s.persistDone = make(chan struct{})
 		go s.persistLoop()
 	}
+	if cfg.FeedTTL > 0 {
+		s.evictStop = make(chan struct{})
+		s.evictDone = make(chan struct{})
+		go s.evictLoop()
+	}
 	return s, nil
+}
+
+// recover opens (or creates) the convoy log, replaying any existing
+// records: each feed found in the log is recreated with its cursor at the
+// end of its logged history and the logged convoy keys preloaded for
+// dedup. The feeds map is populated before the shard actors start, so no
+// locking is needed. Recovered feeds restart with a fresh miner — in-flight
+// (unclosed) mining state is not logged, so clients re-send from their last
+// snapshot and already-persisted convoys are deduplicated rather than
+// re-appended.
+func (s *Server) recover() error {
+	type recovered struct {
+		keys    map[string]bool
+		count   int
+		lastIdx int // index of the feed's newest log record (recency proxy)
+		flushed bool
+	}
+	rec := map[string]*recovered{}
+	idx := 0
+	sink, err := storage.OpenConvoyLog(s.cfg.PersistPath, func(lc storage.LoggedConvoy) error {
+		r := rec[lc.Feed]
+		if r == nil {
+			r = &recovered{keys: map[string]bool{}}
+			rec[lc.Feed] = r
+		}
+		if storage.IsFlushMarker(lc.Convoy) {
+			// Terminal-state sentinel, not a convoy: restores the flushed
+			// bit without entering the cursor domain or the dedup keys.
+			r.flushed = true
+			return nil
+		}
+		r.keys[lc.Convoy.Key()] = true
+		r.count++
+		r.lastIdx = idx
+		idx++
+		s.recoveredRecs++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// The log accumulates every feed ever served (eviction removes feeds
+	// from memory, never records from the log), so an old log can name far
+	// more feeds than the server should hold resident. Cap resurrection at
+	// MaxFeeds, keeping the most recently appended-to feeds; the rest lose
+	// their dedup state exactly as if they had been TTL-evicted (their
+	// records stay in the log, and compaction removes any duplicates a
+	// later replay appends).
+	if len(rec) > s.cfg.MaxFeeds {
+		names := make([]string, 0, len(rec))
+		for name := range rec {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(a, b int) bool { return rec[names[a]].lastIdx > rec[names[b]].lastIdx })
+		for i, name := range names[s.cfg.MaxFeeds:] {
+			// Tombstone the dropped feed's cursor head, exactly as TTL
+			// eviction does: a later incarnation under this name must
+			// continue the domain, not restart it under a returning
+			// client's stale cursor. The same 4×MaxFeeds bound applies —
+			// beyond it (recency order), dropped names simply restart
+			// their domain, keeping startup memory configured-bounded
+			// rather than log-age-bounded.
+			if i < 4*s.cfg.MaxFeeds {
+				s.tombs[name] = rec[name].count
+			}
+			delete(rec, name)
+		}
+	}
+	now := time.Now().UnixNano()
+	for name, r := range rec {
+		f, err := newFeed(name, s.ring.lookup(name), s.cfg.Params, s.cfg.Window)
+		if err != nil {
+			sink.Close()
+			return fmt.Errorf("server: recover feed %q: %w", name, err)
+		}
+		f.pubSeen = r.keys
+		f.start, f.persisted, f.durable = r.count, r.count, r.count
+		f.stats.ClosedTotal = int64(r.count)
+		f.stats.TruncatedBefore = r.count
+		if r.flushed {
+			// The flush sentinel restores the terminal state: ingest stays
+			// 409 and polls short-circuit with Flushed:true across the
+			// restart. The final maximal set itself lives in the log, not
+			// in memory (f.final stays empty — /flush replies with the
+			// cursor position, and the history is replayable from the
+			// log).
+			f.flushed = true
+			f.flushLogged = true
+			f.done = true
+		}
+		f.touch(now)
+		s.feeds[name] = f
+	}
+	s.recoveredFeeds = len(rec)
+	s.sink = sink
+	return nil
+}
+
+// RecoveryInfo reports what New replayed from an existing convoy log:
+// the number of feeds restored and log records read.
+func (s *Server) RecoveryInfo() (feeds, records int) {
+	return s.recoveredFeeds, s.recoveredRecs
 }
 
 // Close drains the shard actors and, when persistence is configured, writes
@@ -169,6 +336,10 @@ func (s *Server) Close() error {
 		close(sh.in)
 	}
 	s.mu.Unlock()
+	if s.evictStop != nil {
+		close(s.evictStop)
+		<-s.evictDone
+	}
 	s.workers.Wait()
 	var err error
 	if s.sink != nil {
@@ -208,26 +379,47 @@ func (s *Server) feedFor(name string, create bool) (*feed, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: feed %q: %w", name, err)
 	}
+	if head, ok := s.tombs[name]; ok {
+		// Continue the evicted predecessor's cursor domain: everything it
+		// published stays 410 (truncated) rather than being shadowed by
+		// the new incarnation's counting restarting at 0. Dedup keys are
+		// not resurrected — see Config.FeedTTL.
+		f.start, f.persisted, f.durable = head, head, head
+		f.stats.ClosedTotal = int64(head)
+		f.stats.TruncatedBefore = head
+		delete(s.tombs, name)
+	}
+	f.touch(time.Now().UnixNano())
 	s.feeds[name] = f
 	return f, nil
 }
 
 // enqueue routes msg to its feed's shard, applying backpressure. It holds
 // the read lock across the channel send so Close cannot close the queue
-// under it.
-func (s *Server) enqueue(msg shardMsg) error {
+// under it, and it bumps the feed's pending count under the same lock so
+// eviction (which requires pending == 0 under the write lock) can never
+// race a message into a dead feed. A canceled request context stops the
+// backpressure wait early.
+func (s *Server) enqueue(ctx context.Context, msg shardMsg) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return ErrClosed
 	}
-	sh := s.shards[msg.feed.shard]
+	f := msg.feed
+	if f.evicted.Load() {
+		return ErrFeedEvicted
+	}
+	f.touch(time.Now().UnixNano())
+	f.pending.Add(1)
+	sh := s.shards[f.shard]
 	select {
 	case sh.in <- msg:
 		return nil
 	default:
 	}
 	if s.cfg.EnqueueWait <= 0 {
+		f.pending.Add(-1)
 		return ErrBackpressure
 	}
 	timer := time.NewTimer(s.cfg.EnqueueWait)
@@ -236,14 +428,34 @@ func (s *Server) enqueue(msg shardMsg) error {
 	case sh.in <- msg:
 		return nil
 	case <-timer.C:
+		f.pending.Add(-1)
 		return ErrBackpressure
+	case <-ctx.Done():
+		f.pending.Add(-1)
+		return ctx.Err()
 	}
+}
+
+// touchFeed refreshes a feed's activity clock for TTL purposes and reports
+// whether the feed is still live. The touch happens under the read lock so
+// it is mutually exclusive with the eviction sweep's revalidation (which
+// holds the write lock): a query can therefore never refresh a feed in the
+// same instant eviction collects it — one of the two strictly wins.
+func (s *Server) touchFeed(f *feed) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if f.evicted.Load() {
+		return false
+	}
+	f.touch(time.Now().UnixNano())
+	return true
 }
 
 // Stats is the /v1/stats payload.
 type Stats struct {
 	Shards []ShardStats         `json:"shards"`
 	Feeds  map[string]FeedStats `json:"feeds"`
+	Memory MemoryStats          `json:"memory"`
 	// SinkBroken reports that persistence was disabled by a write error.
 	SinkBroken bool `json:"sink_broken,omitempty"`
 }
@@ -255,6 +467,19 @@ type ShardStats struct {
 	Feeds    int `json:"feeds"`
 }
 
+// MemoryStats summarises what bounds the server's resident footprint: how
+// many feeds are live, how much published history is resident versus
+// truncated to the log, and the lifetime eviction/recovery counters.
+type MemoryStats struct {
+	LiveFeeds        int    `json:"live_feeds"`
+	EvictedTotal     int64  `json:"evicted_feeds_total"`
+	ClosedInMemory   int    `json:"closed_convoys_in_memory"`
+	TruncatedTotal   int64  `json:"truncated_convoys_total"`
+	RecoveredFeeds   int    `json:"recovered_feeds,omitempty"`
+	RecoveredConvoys int    `json:"recovered_convoys,omitempty"`
+	HeapAllocBytes   uint64 `json:"heap_alloc_bytes"`
+}
+
 // Stats returns a point-in-time snapshot of server counters.
 func (s *Server) Stats() Stats {
 	st := Stats{Feeds: map[string]FeedStats{}, SinkBroken: s.sinkBroken.Load()}
@@ -263,11 +488,24 @@ func (s *Server) Stats() Stats {
 		st.Shards[i] = ShardStats{QueueLen: len(sh.in), QueueCap: cap(sh.in)}
 	}
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	for name, f := range s.feeds {
 		fs, _ := f.snapshotStats()
 		st.Feeds[name] = fs
 		st.Shards[f.shard].Feeds++
+		st.Memory.ClosedInMemory += fs.ClosedInMemory
+	}
+	st.Memory.LiveFeeds = len(s.feeds)
+	s.mu.RUnlock()
+	st.Memory.EvictedTotal = s.evictedTotal.Load()
+	st.Memory.TruncatedTotal = s.truncatedTotal.Load()
+	st.Memory.RecoveredFeeds = s.recoveredFeeds
+	st.Memory.RecoveredConvoys = s.recoveredRecs
+	// runtime/metrics, not runtime.ReadMemStats: stats endpoints get polled
+	// every few seconds by monitoring, and ReadMemStats stops the world.
+	heap := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+	metrics.Read(heap)
+	if heap[0].Value.Kind() == metrics.KindUint64 {
+		st.Memory.HeapAllocBytes = heap[0].Value.Uint64()
 	}
 	return st
 }
@@ -289,11 +527,23 @@ func (s *Server) persistLoop() {
 
 // persistAll writes every feed's not-yet-persisted closed convoys to the
 // sink, in discovery order, then syncs. Persistence is at-most-once: the
-// cursor advances before the write, and the first write error disables the
-// sink for the rest of the server's life. Retrying into an append-only
-// buffered log would duplicate the records already in its buffer (and
-// possibly follow a partially flushed record), corrupting the log — a
-// broken disk ends the log at its last good Sync instead.
+// persisted marker advances before the write, and the first write error
+// disables the sink for the rest of the server's life. Retrying into an
+// append-only buffered log would duplicate the records already in its
+// buffer (and possibly follow a partially flushed record), corrupting the
+// log — a broken disk ends the log at its last good Sync instead. Each
+// feed's durable watermark advances only after the Sync that covers its
+// records succeeds, and it is durable — not persisted — that licenses
+// discarding in-memory state (truncation here, whole feeds in
+// lifecycle.go), so a sync failure can never lose convoys from both
+// memory and the log at once.
+//
+// Truncation (unless Config.KeepHistory) deliberately lags durability by
+// one round: this round truncates up to the durable watermark as of the
+// round's start. A long-poller woken by a publish therefore always has a
+// full PersistEvery to collect the convoys it was woken for before they
+// can leave memory, and resident history stays bounded by about two
+// persistence intervals' worth of convoys per feed.
 func (s *Server) persistAll() {
 	if s.sinkBroken.Load() {
 		return
@@ -304,10 +554,16 @@ func (s *Server) persistAll() {
 		feeds = append(feeds, f)
 	}
 	s.mu.RUnlock()
-	wrote := false
-	for _, f := range feeds {
+	type written struct {
+		f      *feed
+		synced int // durable watermark once this round's Sync succeeds
+	}
+	var wrote []written
+	truncUpTo := make([]int, len(feeds)) // durable as of the round's start
+	for i, f := range feeds {
 		f.mu.Lock()
-		fresh := f.closed[f.persisted:]
+		truncUpTo[i] = f.durable
+		fresh := f.closed[f.persisted-f.start:]
 		if len(fresh) == 0 {
 			f.mu.Unlock()
 			continue
@@ -316,17 +572,61 @@ func (s *Server) persistAll() {
 		// stall the actor's publish path.
 		batch := make([]convoy.Convoy, len(fresh))
 		copy(batch, fresh)
-		f.persisted = len(f.closed)
+		f.persisted = f.head()
+		newPersisted := f.persisted
 		f.mu.Unlock()
 		if err := s.sink.AppendAll(f.name, batch); err != nil {
 			s.sinkBroken.Store(true)
 			return
 		}
-		wrote = true
+		wrote = append(wrote, written{f: f, synced: newPersisted})
 	}
-	if wrote {
+	if len(wrote) > 0 {
 		if err := s.sink.Sync(); err != nil {
 			s.sinkBroken.Store(true)
+			return
 		}
+		for _, w := range wrote {
+			w.f.mu.Lock()
+			if w.synced > w.f.durable {
+				w.f.durable = w.synced
+			}
+			w.f.mu.Unlock()
+		}
+	}
+	// Second pass: once a flushed feed's whole history is durable, append
+	// the flush sentinel so the terminal state survives a restart. The
+	// window where a crash loses only the sentinel (feed reopens, clients
+	// re-flush) is bounded by one persistence interval.
+	var marked []*feed
+	for _, f := range feeds {
+		f.mu.Lock()
+		mark := f.flushed && !f.flushLogged && f.durable == f.head()
+		f.mu.Unlock()
+		if !mark {
+			continue
+		}
+		if err := s.sink.Append(f.name, storage.FlushMarker()); err != nil {
+			s.sinkBroken.Store(true)
+			return
+		}
+		marked = append(marked, f)
+	}
+	if len(marked) > 0 {
+		if err := s.sink.Sync(); err != nil {
+			s.sinkBroken.Store(true)
+			return
+		}
+		for _, f := range marked {
+			f.mu.Lock()
+			f.flushLogged = true
+			f.mu.Unlock()
+		}
+	}
+	if s.cfg.KeepHistory {
+		return
+	}
+	for i, f := range feeds {
+		s.truncatedTotal.Add(int64(f.truncateTo(truncUpTo[i])))
 	}
 }

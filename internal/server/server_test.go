@@ -357,6 +357,9 @@ func TestPersistSink(t *testing.T) {
 		if r.Feed != "persisted" {
 			t.Fatalf("unexpected feed %q in sink", r.Feed)
 		}
+		if storage.IsFlushMarker(r.Convoy) {
+			continue // terminal-state sentinel, not a convoy
+		}
 		got = append(got, r.Convoy)
 	}
 	if !model.ConvoysEqual(got, want) {

@@ -26,6 +26,9 @@ type shard struct {
 }
 
 // run is the actor loop; it exits when the queue is closed by Server.Close.
+// The feed's pending count drops only after the message is fully processed,
+// so TTL eviction (which requires pending == 0) can never collect a feed
+// with work still in flight.
 func (sh *shard) run() {
 	for msg := range sh.in {
 		if hook := sh.srv.testHook; hook != nil {
@@ -33,9 +36,10 @@ func (sh *shard) run() {
 		}
 		if msg.flushReply != nil {
 			sh.flush(msg.feed, msg.flushReply)
-			continue
+		} else {
+			sh.ingest(msg.feed, msg.snaps)
 		}
-		sh.ingest(msg.feed, msg.snaps)
+		msg.feed.pending.Add(-1)
 	}
 }
 

@@ -46,6 +46,21 @@ type LoggedConvoy struct {
 	Convoy model.Convoy
 }
 
+// FlushMarker returns the sentinel record convoyd appends after a feed's
+// flush is fully durable, so a restart can restore the feed's terminal
+// flushed state. The sentinel — an empty object set over the impossible
+// interval [0,-1) — cannot collide with a real convoy (every mined convoy
+// has End ≥ Start) and round-trips through the v1 codec unchanged, so old
+// logs and readers stay compatible.
+func FlushMarker() model.Convoy {
+	return model.Convoy{Start: 0, End: -1}
+}
+
+// IsFlushMarker reports whether a logged convoy is the flush sentinel.
+func IsFlushMarker(c model.Convoy) bool {
+	return len(c.Objs) == 0 && c.End < c.Start
+}
+
 // CreateConvoyLog creates (or truncates) a convoy log at path.
 func CreateConvoyLog(path string) (*ConvoyLog, error) {
 	f, err := os.Create(path)
@@ -119,7 +134,67 @@ func (l *ConvoyLog) Close() error {
 	return l.f.Close()
 }
 
-// ReadConvoyLog reads every record of a convoy log, in append order.
+// readLogHeader consumes and validates the 8-byte log header.
+func readLogHeader(r *bufio.Reader) error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("convoylog: read header: %w", err)
+	}
+	if string(hdr[0:4]) != convoyLogMagic {
+		return errors.New("convoylog: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != convoyLogVersion {
+		return fmt.Errorf("convoylog: unsupported version %d", v)
+	}
+	return nil
+}
+
+// readLogRecord decodes one record and reports its encoded size. io.EOF
+// means a clean record boundary (end of log); io.ErrUnexpectedEOF means the
+// log ends inside the record — the truncated tail a crash mid-append leaves
+// behind.
+func readLogRecord(r *bufio.Reader) (LoggedConvoy, int64, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return LoggedConvoy{}, 0, err // io.EOF here is the clean end
+	}
+	feedLen := int(binary.LittleEndian.Uint16(lenBuf[:]))
+	rec := make([]byte, feedLen+12)
+	if _, err := io.ReadFull(r, rec); err != nil {
+		return LoggedConvoy{}, 0, truncated(err)
+	}
+	feed := string(rec[:feedLen])
+	start := int32(binary.LittleEndian.Uint32(rec[feedLen : feedLen+4]))
+	end := int32(binary.LittleEndian.Uint32(rec[feedLen+4 : feedLen+8]))
+	n := binary.LittleEndian.Uint32(rec[feedLen+8 : feedLen+12])
+	if n > maxLoggedConvoySize {
+		return LoggedConvoy{}, 0, fmt.Errorf("convoylog: implausible object count %d", n)
+	}
+	oidBuf := make([]byte, 4*int(n))
+	if _, err := io.ReadFull(r, oidBuf); err != nil {
+		return LoggedConvoy{}, 0, truncated(err)
+	}
+	objs := make(model.ObjSet, n)
+	for i := range objs {
+		objs[i] = int32(binary.LittleEndian.Uint32(oidBuf[4*i : 4*i+4]))
+	}
+	size := int64(2 + feedLen + 12 + 4*int(n))
+	return LoggedConvoy{Feed: feed, Convoy: model.Convoy{Objs: objs, Start: start, End: end}}, size, nil
+}
+
+// truncated normalises a mid-record io.EOF (ReadFull reports it only when
+// zero bytes were read) to io.ErrUnexpectedEOF, so callers distinguish the
+// clean end of the log from a torn tail by error value alone.
+func truncated(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// ReadConvoyLog reads every record of a convoy log, in append order. It is
+// strict: a log ending inside a record is an error. Crash recovery wants
+// the lenient ScanConvoyLog instead.
 func ReadConvoyLog(path string) ([]LoggedConvoy, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -127,45 +202,127 @@ func ReadConvoyLog(path string) ([]LoggedConvoy, error) {
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<16)
-	var hdr [8]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("convoylog: read header: %w", err)
-	}
-	if string(hdr[0:4]) != convoyLogMagic {
-		return nil, errors.New("convoylog: bad magic")
-	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != convoyLogVersion {
-		return nil, fmt.Errorf("convoylog: unsupported version %d", v)
+	if err := readLogHeader(r); err != nil {
+		return nil, err
 	}
 	var out []LoggedConvoy
 	for {
-		var lenBuf [2]byte
-		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-			if err == io.EOF {
-				return out, nil
-			}
+		rec, _, err := readLogRecord(r)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
 			return nil, fmt.Errorf("convoylog: read record %d: %w", len(out), err)
 		}
-		feedLen := int(binary.LittleEndian.Uint16(lenBuf[:]))
-		rec := make([]byte, feedLen+12)
-		if _, err := io.ReadFull(r, rec); err != nil {
-			return nil, fmt.Errorf("convoylog: read record %d: %w", len(out), err)
-		}
-		feed := string(rec[:feedLen])
-		start := int32(binary.LittleEndian.Uint32(rec[feedLen : feedLen+4]))
-		end := int32(binary.LittleEndian.Uint32(rec[feedLen+4 : feedLen+8]))
-		n := binary.LittleEndian.Uint32(rec[feedLen+8 : feedLen+12])
-		if n > maxLoggedConvoySize {
-			return nil, fmt.Errorf("convoylog: record %d: implausible object count %d", len(out), n)
-		}
-		oidBuf := make([]byte, 4*int(n))
-		if _, err := io.ReadFull(r, oidBuf); err != nil {
-			return nil, fmt.Errorf("convoylog: read record %d oids: %w", len(out), err)
-		}
-		objs := make(model.ObjSet, n)
-		for i := range objs {
-			objs[i] = int32(binary.LittleEndian.Uint32(oidBuf[4*i : 4*i+4]))
-		}
-		out = append(out, LoggedConvoy{Feed: feed, Convoy: model.Convoy{Objs: objs, Start: start, End: end}})
+		out = append(out, rec)
 	}
+}
+
+// ScanConvoyLog iterates the records of a convoy log in append order,
+// calling fn for each complete record, and returns the byte offset just
+// past the last complete record. A truncated final record — the torn tail a
+// crash mid-append leaves — is not an error: the scan stops at the last
+// record boundary and the returned offset excludes the partial bytes, so
+// OpenConvoyLog can truncate them away. Genuine corruption (bad magic,
+// implausible lengths) and fn errors still fail.
+func ScanConvoyLog(path string, fn func(LoggedConvoy) error) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("convoylog: open: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	if err := readLogHeader(r); err != nil {
+		return 0, err
+	}
+	off := int64(8)
+	for i := 0; ; i++ {
+		rec, size, err := readLogRecord(r)
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			return off, nil
+		}
+		if err != nil {
+			return off, fmt.Errorf("convoylog: scan record %d: %w", i, err)
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return off, err
+			}
+		}
+		off += size
+	}
+}
+
+// OpenConvoyLog opens the log at path for appending, creating it when
+// absent. An existing log is replayed through fn (which may be nil) first,
+// and a partial tail record left by a crash is truncated away so the next
+// append lands on a record boundary. A file too short to hold even the
+// header (a crash before the first sync) is recreated from scratch.
+func OpenConvoyLog(path string, fn func(LoggedConvoy) error) (*ConvoyLog, error) {
+	st, err := os.Stat(path)
+	if os.IsNotExist(err) || (err == nil && st.Size() < 8) {
+		return CreateConvoyLog(path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("convoylog: stat: %w", err)
+	}
+	off, err := ScanConvoyLog(path, fn)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("convoylog: open: %w", err)
+	}
+	if err := f.Truncate(off); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("convoylog: truncate partial tail: %w", err)
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("convoylog: seek: %w", err)
+	}
+	return &ConvoyLog{f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// CompactConvoyLog rewrites the log at path keeping only the first
+// occurrence of each (feed, convoy) record, dropping exact duplicates and
+// any partial tail, then atomically replaces the original. Duplicates enter
+// a log when a feed is evicted and the same data is re-ingested later (the
+// in-memory dedup state dies with the feed); compaction restores the
+// exactly-once property offline. Returns the kept and dropped record
+// counts.
+func CompactConvoyLog(path string) (kept, dropped int, err error) {
+	tmp := path + ".compact"
+	out, err := CreateConvoyLog(tmp)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+	seen := map[string]bool{}
+	_, err = ScanConvoyLog(path, func(rec LoggedConvoy) error {
+		key := rec.Feed + "\x00" + rec.Convoy.Key()
+		if seen[key] {
+			dropped++
+			return nil
+		}
+		seen[key] = true
+		kept++
+		return out.Append(rec.Feed, rec.Convoy)
+	})
+	if err != nil {
+		out.Close()
+		return 0, 0, err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return 0, 0, fmt.Errorf("convoylog: compact sync: %w", err)
+	}
+	if err := out.Close(); err != nil {
+		return 0, 0, fmt.Errorf("convoylog: compact close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, 0, fmt.Errorf("convoylog: compact rename: %w", err)
+	}
+	return kept, dropped, nil
 }

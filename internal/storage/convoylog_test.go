@@ -63,6 +63,226 @@ func TestConvoyLogEmpty(t *testing.T) {
 	}
 }
 
+// writeTestLog writes records to a fresh log at path and returns its bytes.
+func writeTestLog(t *testing.T, path string, recs []LoggedConvoy) []byte {
+	t.Helper()
+	l, err := CreateConvoyLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := l.Append(r.Feed, r.Convoy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+var tailTestRecords = []LoggedConvoy{
+	{Feed: "tokyo", Convoy: model.NewConvoy(model.NewObjSet(1, 2, 3), 0, 9)},
+	{Feed: "osaka", Convoy: model.NewConvoy(model.NewObjSet(7, 8), 4, 12)},
+	{Feed: "kyoto", Convoy: model.NewConvoy(model.NewObjSet(5, 6, 9, 11), 2, 8)},
+}
+
+// TestScanConvoyLogPartialTail cuts a 3-record log at every byte offset
+// inside the final record and checks the lenient scan returns the two
+// complete records without error, while the strict reader keeps failing.
+func TestScanConvoyLogPartialTail(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.k2cl")
+	data := writeTestLog(t, full, tailTestRecords)
+	twoOff, err := ScanConvoyLog(full, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastLen := int64(len(data)) - 0 // full file length
+	// Find the offset where record 3 starts: scan a 2-record log.
+	two := filepath.Join(dir, "two.k2cl")
+	twoData := writeTestLog(t, two, tailTestRecords[:2])
+	recStart := int64(len(twoData))
+	if twoOff != lastLen {
+		// sanity: full-log scan consumed everything
+		t.Fatalf("full scan offset %d != file length %d", twoOff, lastLen)
+	}
+	for cut := recStart + 1; cut < int64(len(data)); cut++ {
+		torn := filepath.Join(dir, "torn.k2cl")
+		if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got []LoggedConvoy
+		off, err := ScanConvoyLog(torn, func(r LoggedConvoy) error { got = append(got, r); return nil })
+		if err != nil {
+			t.Fatalf("cut at %d: scan failed: %v", cut, err)
+		}
+		if off != recStart {
+			t.Fatalf("cut at %d: offset %d, want %d", cut, off, recStart)
+		}
+		if len(got) != 2 || got[0].Feed != "tokyo" || got[1].Feed != "osaka" {
+			t.Fatalf("cut at %d: replayed %d records %+v, want the 2 complete ones", cut, len(got), got)
+		}
+		if _, err := ReadConvoyLog(torn); err == nil {
+			t.Fatalf("cut at %d: strict reader accepted a torn log", cut)
+		}
+	}
+}
+
+// TestOpenConvoyLogRecovery opens a torn log for append: the partial tail
+// must be truncated away and a subsequent append must produce a clean,
+// strictly readable log.
+func TestOpenConvoyLogRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "recover.k2cl")
+	data := writeTestLog(t, path, tailTestRecords)
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var replayed []LoggedConvoy
+	l, err := OpenConvoyLog(path, func(r LoggedConvoy) error { replayed = append(replayed, r); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(replayed))
+	}
+	extra := LoggedConvoy{Feed: "nara", Convoy: model.NewConvoy(model.NewObjSet(42), 0, 5)}
+	if err := l.Append(extra.Feed, extra.Convoy); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadConvoyLog(path) // strict: recovery left no torn bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]LoggedConvoy{}, tailTestRecords[:2]...), extra)
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Feed != want[i].Feed || !got[i].Convoy.Equal(want[i].Convoy) {
+			t.Fatalf("record %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestOpenConvoyLogShortFile: a file shorter than the header (crash before
+// the first sync) is recreated, not an error.
+func TestOpenConvoyLogShortFile(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string][]byte{"empty.k2cl": {}, "partialhdr.k2cl": []byte("K2C")} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := OpenConvoyLog(path, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := l.Append("f", model.NewConvoy(model.NewObjSet(1), 0, 3)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got, err := ReadConvoyLog(path); err != nil || len(got) != 1 {
+			t.Fatalf("%s: read %d records, err %v; want 1 record", name, len(got), err)
+		}
+	}
+}
+
+// TestCompactConvoyLog: duplicates and the torn tail are dropped, order and
+// first occurrences survive.
+func TestCompactConvoyLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "compact.k2cl")
+	recs := []LoggedConvoy{
+		tailTestRecords[0],
+		tailTestRecords[1],
+		tailTestRecords[0], // duplicate of record 0
+		tailTestRecords[2],
+		tailTestRecords[1], // duplicate of record 1
+	}
+	data := writeTestLog(t, path, recs)
+	if err := os.WriteFile(path, append(data, 0x07), 0o644); err != nil { // torn tail byte
+		t.Fatal(err)
+	}
+	kept, dropped, err := CompactConvoyLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 3 || dropped != 2 {
+		t.Fatalf("kept %d dropped %d, want 3 and 2", kept, dropped)
+	}
+	got, err := ReadConvoyLog(path) // strict: compaction output is clean
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("compacted log has %d records, want 3", len(got))
+	}
+	for i, want := range tailTestRecords {
+		if got[i].Feed != want.Feed || !got[i].Convoy.Equal(want.Convoy) {
+			t.Fatalf("record %d: %+v, want %+v", i, got[i], want)
+		}
+	}
+}
+
+// BenchmarkConvoyLogAppend measures the persistence hot path: serialising
+// and buffering one 8-object convoy record (no fsync).
+func BenchmarkConvoyLogAppend(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.k2cl")
+	l, err := CreateConvoyLog(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	c := model.NewConvoy(model.NewObjSet(1, 2, 3, 4, 5, 6, 7, 8), 0, 99)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append("bench-feed", c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvoyLogScan measures startup recovery: replaying a 10k-record
+// log.
+func BenchmarkConvoyLogScan(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.k2cl")
+	l, err := CreateConvoyLog(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := model.NewConvoy(model.NewObjSet(1, 2, 3, 4, 5, 6, 7, 8), 0, 99)
+	for i := 0; i < 10000; i++ {
+		if err := l.Append("bench-feed", c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if _, err := ScanConvoyLog(path, func(LoggedConvoy) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if n != 10000 {
+			b.Fatalf("scanned %d records", n)
+		}
+	}
+}
+
 func TestConvoyLogRejectsGarbage(t *testing.T) {
 	dir := t.TempDir()
 	bad := filepath.Join(dir, "bad.k2cl")

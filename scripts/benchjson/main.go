@@ -1,0 +1,291 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, and renders a markdown before/after table against a
+// baseline JSON file. CI uses it to record the repo's perf trajectory
+// (BENCH_N.json artifacts) and to summarise each run against the committed
+// baseline:
+//
+//	go test -run '^$' -bench=. -benchmem -count=3 ./... | tee bench.txt
+//	benchjson -o BENCH_3.json bench.txt                    # text → JSON
+//	benchjson -md -baseline BENCH_3.json bench.txt         # markdown table
+//
+// With no input file the bench text is read from stdin. Multiple samples
+// per benchmark (from -count) are all recorded; comparisons use the best
+// (minimum) ns/op, the usual way to damp scheduler noise.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one benchmark line's measurements.
+type Sample struct {
+	Runs        int64   `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Benchmark groups the samples of one benchmark function (-count > 1
+// yields several).
+type Benchmark struct {
+	Pkg     string   `json:"pkg"`
+	Name    string   `json:"name"`
+	Samples []Sample `json:"samples"`
+}
+
+// File is the JSON document: environment header plus all benchmarks,
+// sorted by (pkg, name) for stable diffs.
+type File struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseBench reads `go test -bench` output. Lines it does not recognise
+// (test chatter, PASS/ok lines) are skipped.
+func parseBench(r io.Reader) (File, error) {
+	var f File
+	idx := map[string]int{} // "pkg\x00name" → index into f.Benchmarks
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			f.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			f.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			f.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. a "Benchmarking..." chatter line
+		}
+		s := Sample{Runs: runs}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				if s.NsPerOp, err = strconv.ParseFloat(val, 64); err == nil {
+					ok = true
+				}
+			case "B/op":
+				s.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				s.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			}
+		}
+		if !ok {
+			continue
+		}
+		name := normalizeName(fields[0])
+		key := pkg + "\x00" + name
+		i, seen := idx[key]
+		if !seen {
+			i = len(f.Benchmarks)
+			idx[key] = i
+			f.Benchmarks = append(f.Benchmarks, Benchmark{Pkg: pkg, Name: name})
+		}
+		f.Benchmarks[i].Samples = append(f.Benchmarks[i].Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return f, err
+	}
+	sort.Slice(f.Benchmarks, func(a, b int) bool {
+		if f.Benchmarks[a].Pkg != f.Benchmarks[b].Pkg {
+			return f.Benchmarks[a].Pkg < f.Benchmarks[b].Pkg
+		}
+		return f.Benchmarks[a].Name < f.Benchmarks[b].Name
+	})
+	return f, nil
+}
+
+// normalizeName strips the trailing -GOMAXPROCS suffix go test appends
+// ("BenchmarkFoo-8" → "BenchmarkFoo", ".../workers=4-8" → ".../workers=4")
+// so results keyed on one machine compare against a baseline recorded on a
+// machine with a different core count.
+func normalizeName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// best returns the minimum ns/op across samples, or 0 when empty.
+func (b Benchmark) best() float64 {
+	best := 0.0
+	for _, s := range b.Samples {
+		if best == 0 || s.NsPerOp < best {
+			best = s.NsPerOp
+		}
+	}
+	return best
+}
+
+// markdown renders the before/after table. A nil baseline renders the
+// current run only.
+func markdown(w io.Writer, cur File, base *File) {
+	baseBest := map[string]float64{}
+	missing := map[string]bool{} // baseline keys not (yet) seen in this run
+	if base != nil {
+		for _, b := range base.Benchmarks {
+			key := b.Pkg + "\x00" + b.Name
+			baseBest[key] = b.best()
+			missing[key] = true
+		}
+	}
+	if base != nil {
+		// Different hardware makes raw deltas noise, not signal — say so.
+		if base.CPU != cur.CPU || base.GOOS != cur.GOOS || base.GOARCH != cur.GOARCH {
+			fmt.Fprintf(w, "_baseline env: %s/%s, %s — this run: %s/%s, %s (different hardware; compare with care)_\n\n",
+				base.GOOS, base.GOARCH, base.CPU, cur.GOOS, cur.GOARCH, cur.CPU)
+		}
+		fmt.Fprintln(w, "| benchmark | before ns/op | after ns/op | Δ |")
+		fmt.Fprintln(w, "|---|---:|---:|---:|")
+	} else {
+		fmt.Fprintln(w, "| benchmark | ns/op |")
+		fmt.Fprintln(w, "|---|---:|")
+	}
+	for _, b := range cur.Benchmarks {
+		name := b.Name
+		if short := shortPkg(b.Pkg); short != "" {
+			name = short + "." + name
+		}
+		after := b.best()
+		if base == nil {
+			fmt.Fprintf(w, "| %s | %s |\n", name, fmtNs(after))
+			continue
+		}
+		key := b.Pkg + "\x00" + b.Name
+		delete(missing, key)
+		before, had := baseBest[key]
+		if !had || before == 0 {
+			fmt.Fprintf(w, "| %s | — | %s | new |\n", name, fmtNs(after))
+			continue
+		}
+		delta := (after - before) / before * 100
+		fmt.Fprintf(w, "| %s | %s | %s | %+.1f%% |\n", name, fmtNs(before), fmtNs(after), delta)
+	}
+	if base == nil {
+		return
+	}
+	// Benchmarks tracked by the baseline but absent from this run are the
+	// regression the trajectory exists to catch — surface, don't omit.
+	for _, b := range base.Benchmarks {
+		if !missing[b.Pkg+"\x00"+b.Name] {
+			continue
+		}
+		name := b.Name
+		if short := shortPkg(b.Pkg); short != "" {
+			name = short + "." + name
+		}
+		fmt.Fprintf(w, "| %s | %s | — | removed |\n", name, fmtNs(b.best()))
+	}
+}
+
+// shortPkg keeps the path under the module root ("" for the root package).
+func shortPkg(pkg string) string {
+	if i := strings.Index(pkg, "/"); i >= 0 {
+		return pkg[i+1:]
+	}
+	return ""
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON to this file (default stdout)")
+	md := flag.Bool("md", false, "emit a markdown table instead of JSON")
+	baseline := flag.String("baseline", "", "baseline JSON for the markdown before/after columns")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	cur, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	if *md {
+		var base *File
+		if *baseline != "" {
+			data, err := os.ReadFile(*baseline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			base = &File{}
+			if err := json.Unmarshal(data, base); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+				os.Exit(1)
+			}
+		}
+		markdown(os.Stdout, cur, base)
+		return
+	}
+
+	data, err := json.MarshalIndent(cur, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkAlgoPCCD-8   	     100	  11800345 ns/op	 2048111 B/op	   12345 allocs/op
+BenchmarkAlgoPCCD-8   	     102	  11650012 ns/op	 2048000 B/op	   12344 allocs/op
+BenchmarkK2HopParallel/workers=4-8         	     300	   3500000 ns/op	  900000 B/op	    5000 allocs/op
+PASS
+ok  	repro	12.345s
+pkg: repro/internal/dbscan
+BenchmarkCluster1000-8	    5000	    250000 ns/op
+PASS
+ok  	repro/internal/dbscan	2.000s
+`
+
+func TestParseBench(t *testing.T) {
+	f, err := parseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GOOS != "linux" || f.GOARCH != "amd64" || f.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("env header: %+v", f)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(f.Benchmarks), f.Benchmarks)
+	}
+	// Sorted by (pkg, name): repro before repro/internal/dbscan.
+	b := f.Benchmarks[0]
+	if b.Pkg != "repro" || b.Name != "BenchmarkAlgoPCCD" {
+		t.Fatalf("first benchmark: %+v", b)
+	}
+	if len(b.Samples) != 2 || b.Samples[0].Runs != 100 || b.Samples[1].NsPerOp != 11650012 {
+		t.Fatalf("samples not aggregated: %+v", b.Samples)
+	}
+	if b.Samples[0].BytesPerOp != 2048111 || b.Samples[0].AllocsPerOp != 12345 {
+		t.Fatalf("benchmem fields: %+v", b.Samples[0])
+	}
+	if got := b.best(); got != 11650012 {
+		t.Fatalf("best = %v, want the minimum sample", got)
+	}
+	last := f.Benchmarks[2]
+	if last.Pkg != "repro/internal/dbscan" || last.Samples[0].BytesPerOp != 0 {
+		t.Fatalf("no-benchmem line: %+v", last)
+	}
+}
+
+func TestMarkdownBeforeAfter(t *testing.T) {
+	cur, err := parseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cur
+	base.Benchmarks = append([]Benchmark(nil), cur.Benchmarks...)
+	// Baseline where PCCD was 2× slower, and the dbscan bench is new.
+	base.Benchmarks[0] = Benchmark{Pkg: "repro", Name: "BenchmarkAlgoPCCD",
+		Samples: []Sample{{Runs: 50, NsPerOp: 23300024}}}
+	base.Benchmarks = base.Benchmarks[:2]
+
+	base.Benchmarks = append(base.Benchmarks, Benchmark{Pkg: "repro", Name: "BenchmarkGone",
+		Samples: []Sample{{Runs: 10, NsPerOp: 500}}})
+
+	var sb strings.Builder
+	markdown(&sb, cur, &base)
+	out := sb.String()
+	if !strings.Contains(out, "| BenchmarkAlgoPCCD | 23.30ms | 11.65ms | -50.0% |") {
+		t.Fatalf("missing improvement row:\n%s", out)
+	}
+	if !strings.Contains(out, "| BenchmarkGone | 500ns | — | removed |") {
+		t.Fatalf("missing removed-benchmark row:\n%s", out)
+	}
+	if !strings.Contains(out, "| internal/dbscan.BenchmarkCluster1000 | — | 250.0µs | new |") {
+		t.Fatalf("missing new-benchmark row:\n%s", out)
+	}
+
+	sb.Reset()
+	markdown(&sb, cur, nil)
+	if !strings.Contains(sb.String(), "| benchmark | ns/op |") {
+		t.Fatalf("baseline-less table malformed:\n%s", sb.String())
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":                     "BenchmarkFoo",
+		"BenchmarkFoo-16":                    "BenchmarkFoo",
+		"BenchmarkFoo":                       "BenchmarkFoo",
+		"BenchmarkK2HopParallel/workers=4-8": "BenchmarkK2HopParallel/workers=4",
+		"BenchmarkOdd-name":                  "BenchmarkOdd-name",
+		"BenchmarkTrailing-":                 "BenchmarkTrailing-",
+	} {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
