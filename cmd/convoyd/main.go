@@ -1,12 +1,15 @@
 // Command convoyd serves streaming convoy mining over HTTP: JSON snapshot
-// ingest per feed, long-poll queries for closed convoys, and an end-of-feed
-// flush returning the full maximal result set. See docs/ARCHITECTURE.md
-// ("convoyd") for the sharding and reordering design.
+// ingest per feed, long-poll queries for closed convoys, an end-of-feed
+// flush returning the full maximal result set, and — with -archive-dir —
+// historical queries over everything ever persisted. docs/API.md is the
+// complete endpoint reference; see docs/ARCHITECTURE.md ("convoyd") for
+// the sharding, reordering and archive design.
 //
 // Example:
 //
 //	convoyd -addr :8080 -m 3 -k 4 -eps 1.5 -shards 8 -window 4 \
-//	        -persist /tmp/closed.k2cl -feed-ttl 10m
+//	        -persist /tmp/closed.k2cl -archive-dir /tmp/convoy-archive \
+//	        -feed-ttl 10m
 //
 // With -persist, the server is restartable: an existing log is replayed at
 // startup (recovering per-feed cursor positions and dedup state), a torn
@@ -17,10 +20,18 @@
 // truncation point answer 410 Gone (see docs/ARCHITECTURE.md "Memory
 // limits").
 //
+// With -archive-dir, persisted convoys are additionally indexed into an
+// LSM-backed archive (backfilled from the log at startup, populated
+// asynchronously while serving), and the /v1/query endpoints answer
+// time-interval, object-membership and size/duration lookups over the full
+// history with cursor pagination:
+//
 //	curl -s -X POST localhost:8080/v1/feeds/osaka/snapshots -d '{
 //	  "snapshots": [{"t": 0, "positions": [{"oid": 1, "x": 0, "y": 0}]}]}'
 //	curl -s 'localhost:8080/v1/feeds/osaka/convoys?cursor=0&wait=5s'
 //	curl -s -X POST localhost:8080/v1/feeds/osaka/flush
+//	curl -s 'localhost:8080/v1/query/object?oid=1'
+//	curl -s 'localhost:8080/v1/query/time?from=0&to=99&min_size=3'
 package main
 
 import (
@@ -55,8 +66,17 @@ func main() {
 		evictEvery   = flag.Duration("evict-every", 0, "eviction sweep interval (default feed-ttl/4)")
 		keepHistory  = flag.Bool("keep-history", false, "keep persisted closed-convoy history in memory (grows unbounded; default truncates it once persisted)")
 		compactLog   = flag.Bool("compact-log", false, "compact the persist log before serving (drops duplicate records left by post-eviction replays)")
+		archiveDir   = flag.String("archive-dir", "", "historical query archive directory (empty = /v1/query disabled); requires -persist, backfilled from the log at startup")
+		archiveCache = flag.Int("archive-cache", 0, "archive index write-buffer budget in bytes (0 = default 12 MiB)")
+		queryBudget  = flag.Int("query-budget", 0, "index entries one /v1/query page may examine before returning a cursor (0 = default 65536)")
+		maxFeeds     = flag.Int("max-feeds", 0, "cap on live feeds; creating more answers 429 (0 = default 65536)")
 	)
 	flag.Parse()
+
+	if *archiveDir != "" && *persist == "" {
+		fmt.Fprintln(os.Stderr, "convoyd: -archive-dir requires -persist (the log is the archive's source of truth)")
+		os.Exit(1)
+	}
 
 	if *compactLog {
 		if *persist == "" {
@@ -90,6 +110,10 @@ func main() {
 		FeedTTL:      *feedTTL,
 		EvictEvery:   *evictEvery,
 		KeepHistory:  *keepHistory,
+		ArchiveDir:   *archiveDir,
+		ArchiveCache: *archiveCache,
+		QueryBudget:  *queryBudget,
+		MaxFeeds:     *maxFeeds,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "convoyd:", err)
@@ -97,6 +121,16 @@ func main() {
 	}
 	if feeds, records := srv.RecoveryInfo(); feeds > 0 {
 		log.Printf("convoyd: recovered %d feeds (%d persisted convoys) from %s", feeds, records, *persist)
+	}
+	if backfilled, rebuilt, enabled := srv.ArchiveInfo(); enabled {
+		switch {
+		case rebuilt:
+			log.Printf("convoyd: archive %s had diverged from the log; rebuilt with %d records", *archiveDir, backfilled)
+		case backfilled > 0:
+			log.Printf("convoyd: archive %s backfilled %d records from %s", *archiveDir, backfilled, *persist)
+		default:
+			log.Printf("convoyd: archive %s up to date", *archiveDir)
+		}
 	}
 
 	httpSrv := &http.Server{

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"os"
+	"regexp"
+	"sort"
+	"testing"
+)
+
+// apiDocPath locates docs/API.md from this package's directory.
+const apiDocPath = "../../docs/API.md"
+
+// endpointHeadingRe matches the reference's per-endpoint headings:
+//
+//	### `GET /v1/query/time`
+var endpointHeadingRe = regexp.MustCompile("(?m)^### `((?:GET|POST|PUT|DELETE|PATCH) /\\S+)`\\s*$")
+
+// TestRoutesMatchAPIReference diffs the server's registered route table
+// against the endpoint headings of docs/API.md, in both directions: every
+// served route must be documented, and every documented route must exist.
+// This is what keeps the API reference from rotting.
+func TestRoutesMatchAPIReference(t *testing.T) {
+	data, err := os.ReadFile(apiDocPath)
+	if err != nil {
+		t.Fatalf("read %s: %v", apiDocPath, err)
+	}
+	documented := map[string]bool{}
+	for _, m := range endpointHeadingRe.FindAllStringSubmatch(string(data), -1) {
+		if documented[m[1]] {
+			t.Errorf("endpoint %q documented twice", m[1])
+		}
+		documented[m[1]] = true
+	}
+
+	srv, err := New(Config{Params: testParams, Shards: 1, Replicas: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	served := map[string]bool{}
+	for _, r := range srv.Routes() {
+		served[r] = true
+	}
+
+	for r := range served {
+		if !documented[r] {
+			t.Errorf("route %q is served but has no `### `%s`` heading in %s", r, r, apiDocPath)
+		}
+	}
+	for r := range documented {
+		if !served[r] {
+			t.Errorf("endpoint %q is documented in %s but not served", r, apiDocPath)
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("no endpoint headings found; did the doc's heading format change?")
+	}
+
+	var list []string
+	for r := range served {
+		list = append(list, r)
+	}
+	sort.Strings(list)
+	t.Logf("verified %d routes: %v", len(list), list)
+}

@@ -62,22 +62,56 @@ const maxIngestBody = 16 << 20
 // maxLongPoll caps the wait parameter of the convoys endpoint.
 const maxLongPoll = 60 * time.Second
 
+// route is one registered endpoint. The table (not the mux) is the single
+// source of truth for what the server serves: Handler builds the mux from
+// it, Routes exposes it, and a test diffs it against docs/API.md so the
+// reference cannot drift from the code.
+type route struct {
+	pattern string
+	handler http.HandlerFunc
+}
+
+func (s *Server) routes() []route {
+	return []route{
+		{"POST /v1/feeds/{feed}/snapshots", s.handleIngest},
+		{"GET /v1/feeds/{feed}/convoys", s.handleConvoys},
+		{"POST /v1/feeds/{feed}/flush", s.handleFlush},
+		{"GET /v1/query/time", s.handleQueryTime},
+		{"GET /v1/query/object", s.handleQueryObject},
+		{"GET /v1/query/convoys", s.handleQueryConvoys},
+		{"GET /v1/stats", s.handleStats},
+		{"GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte("ok\n"))
+		}},
+	}
+}
+
+// Routes returns every registered "METHOD /path" pattern.
+func (s *Server) Routes() []string {
+	var out []string
+	for _, r := range s.routes() {
+		out = append(out, r.pattern)
+	}
+	return out
+}
+
 // Handler returns the convoyd HTTP API:
 //
 //	POST /v1/feeds/{feed}/snapshots   JSON ingest (batch of snapshots)
 //	GET  /v1/feeds/{feed}/convoys     closed convoys since ?cursor, long-poll via ?wait
 //	POST /v1/feeds/{feed}/flush       end the feed, return the full maximal set
-//	GET  /v1/stats                    shard queues + per-feed counters
+//	GET  /v1/query/time               archived convoys overlapping [?from, ?to]
+//	GET  /v1/query/object             archived convoys containing ?oid
+//	GET  /v1/query/convoys            archived convoys by ?min_size / ?min_dur
+//	GET  /v1/stats                    shard queues + per-feed counters + archive
 //	GET  /healthz                     liveness
+//
+// docs/API.md is the request/response reference for all of them.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/feeds/{feed}/snapshots", s.handleIngest)
-	mux.HandleFunc("GET /v1/feeds/{feed}/convoys", s.handleConvoys)
-	mux.HandleFunc("POST /v1/feeds/{feed}/flush", s.handleFlush)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
+	for _, r := range s.routes() {
+		mux.HandleFunc(r.pattern, r.handler)
+	}
 	return mux
 }
 

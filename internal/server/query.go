@@ -1,0 +1,176 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"repro/internal/storage/archive"
+)
+
+// The historical query endpoints. They read the LSM-indexed archive, never
+// the live feeds: results cover everything persisted to the convoy log
+// (minus the latest batches still in the archiver's queue), and the
+// handlers share no locks with the ingest path.
+
+// archivedConvoyJSON is one archived convoy with the feed it was mined
+// from — the /v1/query result element.
+type archivedConvoyJSON struct {
+	Feed  string  `json:"feed"`
+	Objs  []int32 `json:"objs"`
+	Start int32   `json:"start"`
+	End   int32   `json:"end"`
+}
+
+// queryResponse is one page of /v1/query results. Cursor is the opaque
+// resume token: present exactly when More, pass it back verbatim as
+// ?cursor= to continue. Scanned counts the index entries the page
+// examined (the budget currency).
+type queryResponse struct {
+	Convoys []archivedConvoyJSON `json:"convoys"`
+	Cursor  string               `json:"cursor,omitempty"`
+	More    bool                 `json:"more"`
+	Scanned int                  `json:"scanned"`
+}
+
+// queryParams parses the controls shared by all three query endpoints:
+// limit, cursor, min_size, min_dur, feed. Returns ok=false after writing
+// the 400.
+func (s *Server) queryParams(w http.ResponseWriter, r *http.Request) (archive.Query, bool) {
+	q := archive.Query{Budget: s.cfg.QueryBudget}
+	get := r.URL.Query()
+	for name, dst := range map[string]*int{"limit": &q.Limit, "min_size": &q.MinSize, "min_dur": &q.MinDur} {
+		if v := get.Get(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				writeError(w, http.StatusBadRequest, "bad "+name)
+				return archive.Query{}, false
+			}
+			*dst = n
+		}
+	}
+	if v := get.Get("limit"); v != "" && q.Limit > archive.MaxLimit {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("limit %d exceeds the maximum %d", q.Limit, archive.MaxLimit))
+		return archive.Query{}, false
+	}
+	cur, err := archive.ParseCursor(get.Get("cursor"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad cursor")
+		return archive.Query{}, false
+	}
+	q.Cursor = cur
+	q.Feed = get.Get("feed")
+	return q, true
+}
+
+// parseTick parses an int32 query parameter, substituting def when absent.
+func parseTick(get map[string][]string, name string, def int32) (int32, error) {
+	vs := get[name]
+	if len(vs) == 0 || vs[0] == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(vs[0], 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s", name)
+	}
+	return int32(n), nil
+}
+
+// queryArchive guards the common preconditions and writes the page.
+func (s *Server) queryArchive(w http.ResponseWriter,
+	run func() (archive.Result, error)) {
+	if s.arch == nil {
+		writeError(w, http.StatusNotImplemented,
+			"historical queries need an archive; start convoyd with -archive-dir")
+		return
+	}
+	res, err := run()
+	if err != nil {
+		// Every user-input error is rejected during parameter parsing, so
+		// an error out of the archive itself is internal (a records-file
+		// or index read failure), never the caller's fault.
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	out := queryResponse{
+		Convoys: make([]archivedConvoyJSON, 0, len(res.Records)),
+		More:    res.More,
+		Scanned: res.Scanned,
+	}
+	if res.More {
+		out.Cursor = res.Next.String()
+	}
+	for _, rec := range res.Records {
+		out.Convoys = append(out.Convoys, archivedConvoyJSON{
+			Feed:  rec.Feed,
+			Objs:  append([]int32(nil), rec.Convoy.Objs...),
+			Start: rec.Convoy.Start,
+			End:   rec.Convoy.End,
+		})
+	}
+	writeJSON(w, out)
+}
+
+// handleQueryTime serves GET /v1/query/time: archived convoys whose
+// lifespan overlaps the inclusive tick interval [?from, ?to] (defaults:
+// the whole axis).
+func (s *Server) handleQueryTime(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.queryParams(w, r)
+	if !ok {
+		return
+	}
+	get := r.URL.Query()
+	from, err := parseTick(get, "from", math.MinInt32)
+	if err == nil {
+		var to int32
+		if to, err = parseTick(get, "to", math.MaxInt32); err == nil {
+			if from > to {
+				writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("empty interval [%d,%d]", from, to))
+				return
+			}
+			s.queryArchive(w, func() (archive.Result, error) { return s.arch.QueryTime(from, to, q) })
+			return
+		}
+	}
+	writeError(w, http.StatusBadRequest, err.Error())
+}
+
+// handleQueryObject serves GET /v1/query/object: archived convoys
+// containing the object ?oid (required).
+func (s *Server) handleQueryObject(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.queryParams(w, r)
+	if !ok {
+		return
+	}
+	v := r.URL.Query().Get("oid")
+	if v == "" {
+		writeError(w, http.StatusBadRequest, "missing oid")
+		return
+	}
+	oid, err := strconv.ParseInt(v, 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad oid")
+		return
+	}
+	s.queryArchive(w, func() (archive.Result, error) { return s.arch.QueryObject(int32(oid), q) })
+}
+
+// handleQueryConvoys serves GET /v1/query/convoys: archived convoys with
+// at least ?min_size objects and ?min_dur ticks, in ascending size order.
+func (s *Server) handleQueryConvoys(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.queryParams(w, r)
+	if !ok {
+		return
+	}
+	s.queryArchive(w, func() (archive.Result, error) { return s.arch.QueryConvoys(q) })
+}
+
+// ArchiveInfo reports what the startup backfill did: the number of log
+// records archived and whether a diverged archive was rebuilt. enabled is
+// false when no archive is configured.
+func (s *Server) ArchiveInfo() (backfilled int64, rebuilt, enabled bool) {
+	return s.backfilled, s.archRebuilt, s.arch != nil
+}

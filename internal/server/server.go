@@ -37,6 +37,7 @@ import (
 	convoy "repro"
 	"repro/internal/pool"
 	"repro/internal/storage"
+	"repro/internal/storage/archive"
 )
 
 // ErrBackpressure is returned by enqueue when a shard's ingest queue stayed
@@ -112,6 +113,21 @@ type Config struct {
 	// log). With KeepHistory (or without a sink) the full history stays
 	// resident and every cursor remains valid.
 	KeepHistory bool
+	// ArchiveDir, when non-empty, enables the historical query archive
+	// (GET /v1/query/*): every convoy persisted to the sink is also
+	// indexed in an LSM-backed archive under this directory, populated
+	// asynchronously from the persist path and backfilled from the
+	// existing log at startup. Requires PersistPath — the log is the
+	// archive's source of truth.
+	ArchiveDir string
+	// ArchiveCache is the combined in-memory write-buffer budget of the
+	// archive's three secondary indexes, in bytes (default 12 MiB).
+	ArchiveCache int
+	// QueryBudget caps the index entries one /v1/query page may examine
+	// before returning a resume cursor (default archive.DefaultBudget).
+	// It bounds the cost of a page whose filter rejects almost every
+	// entry.
+	QueryBudget int
 
 	// testHook, when set (same-package tests only), runs at the start of
 	// every shard-actor message; tests use it to stall a shard and exercise
@@ -169,6 +185,20 @@ type Server struct {
 	persistStop chan struct{}
 	persistDone chan struct{}
 
+	// The historical query archive (nil unless Config.ArchiveDir is set).
+	// It is fed asynchronously: persistAll hands each synced batch to
+	// archCh and the archiveLoop goroutine indexes it, so a slow archive
+	// disk can never stall the ingest path (at worst it delays the persist
+	// tick once archCh fills). The first archive write error flips
+	// archBroken: the loop keeps draining but stops writing, and the next
+	// startup's backfill repairs the gap from the log.
+	arch        *archive.Archive
+	archCh      chan []storage.LoggedConvoy
+	archDone    chan struct{}
+	archBroken  atomic.Bool
+	backfilled  int64 // records backfilled from the log at startup
+	archRebuilt bool  // startup backfill rebuilt a diverged archive
+
 	evictStop chan struct{}
 	evictDone chan struct{}
 
@@ -190,6 +220,9 @@ func New(cfg Config) (*Server, error) {
 	if _, err := convoy.NewStreamMiner(cfg.Params); err != nil {
 		return nil, err
 	}
+	if cfg.ArchiveDir != "" && cfg.PersistPath == "" {
+		return nil, errors.New("server: ArchiveDir requires PersistPath (the log is the archive's source of truth)")
+	}
 	s := &Server{
 		cfg:      cfg,
 		ring:     newRing(cfg.Shards, cfg.Replicas),
@@ -201,6 +234,20 @@ func New(cfg Config) (*Server, error) {
 		if err := s.recover(); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.ArchiveDir != "" {
+		// Backfill before the shard actors start: the persist loop cannot
+		// append to the log while the archive catches up with it.
+		arch, added, rebuilt, err := archive.OpenAndBackfill(cfg.ArchiveDir, cfg.PersistPath,
+			&archive.Options{CacheBytes: cfg.ArchiveCache})
+		if err != nil {
+			s.sink.Close()
+			return nil, fmt.Errorf("server: archive: %w", err)
+		}
+		s.arch, s.backfilled, s.archRebuilt = arch, added, rebuilt
+		s.archCh = make(chan []storage.LoggedConvoy, 256)
+		s.archDone = make(chan struct{})
+		go s.archiveLoop()
 	}
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
@@ -348,8 +395,57 @@ func (s *Server) Close() error {
 		s.persistAll()
 		err = s.sink.Close()
 	}
+	if s.arch != nil {
+		// The persist loop is stopped and the final persistAll above has
+		// already queued its batches, so closing the channel is safe; the
+		// loop drains it before exiting.
+		close(s.archCh)
+		<-s.archDone
+		if aerr := s.arch.Close(); aerr != nil && err == nil {
+			err = aerr
+		}
+	}
 	return err
 }
+
+// archiveLoop indexes persisted batches into the historical archive. It is
+// the only goroutine that writes the archive while the server runs, so
+// archive writes are ordered exactly as the log's appends. A write error
+// permanently disables archiving for this process (the archive can no
+// longer be trusted to mirror the log); the loop keeps draining so the
+// persist tick never blocks, and the next startup rebuilds from the log.
+func (s *Server) archiveLoop() {
+	defer close(s.archDone)
+	// Periodically make the index watermark durable so a crash replays
+	// only a bounded tail of the records file at the next startup.
+	ticker := time.NewTicker(archiveFlushEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case batch, ok := <-s.archCh:
+			if !ok {
+				return
+			}
+			if s.archBroken.Load() {
+				continue
+			}
+			if err := s.arch.AddBatch(batch); err != nil {
+				s.archBroken.Store(true)
+			}
+		case <-ticker.C:
+			if !s.archBroken.Load() {
+				if err := s.arch.Flush(); err != nil {
+					s.archBroken.Store(true)
+				}
+			}
+		}
+	}
+}
+
+// archiveFlushEvery is the cadence at which the archive's index watermark
+// is made durable. It bounds startup re-indexing work, not durability —
+// records reach the archive's fsynced records file with every batch.
+const archiveFlushEvery = 30 * time.Second
 
 // feedFor returns the feed for name, creating it on first use when create
 // is set.
@@ -456,8 +552,28 @@ type Stats struct {
 	Shards []ShardStats         `json:"shards"`
 	Feeds  map[string]FeedStats `json:"feeds"`
 	Memory MemoryStats          `json:"memory"`
+	// Archive reports the historical query archive (absent when no
+	// ArchiveDir is configured).
+	Archive *ArchiveStats `json:"archive,omitempty"`
 	// SinkBroken reports that persistence was disabled by a write error.
 	SinkBroken bool `json:"sink_broken,omitempty"`
+}
+
+// ArchiveStats is the archive section of /v1/stats: the archive's own
+// size/query counters plus the server-side feed machinery around it.
+type ArchiveStats struct {
+	archive.Stats
+	// QueueLen is the number of persisted batches waiting to be indexed.
+	QueueLen int `json:"queue_len"`
+	// Backfilled is the number of records replayed from the convoy log at
+	// startup; Rebuilt reports that the log had diverged (e.g. offline
+	// compaction) and the archive was rebuilt from scratch.
+	Backfilled int64 `json:"backfilled_records"`
+	Rebuilt    bool  `json:"rebuilt_on_start,omitempty"`
+	// Broken reports that an archive write error disabled archiving for
+	// this process; queries keep serving the archived prefix, and the
+	// next startup repairs the gap from the log.
+	Broken bool `json:"broken,omitempty"`
 }
 
 // ShardStats is one shard's queue occupancy.
@@ -500,6 +616,15 @@ func (s *Server) Stats() Stats {
 	st.Memory.TruncatedTotal = s.truncatedTotal.Load()
 	st.Memory.RecoveredFeeds = s.recoveredFeeds
 	st.Memory.RecoveredConvoys = s.recoveredRecs
+	if s.arch != nil {
+		st.Archive = &ArchiveStats{
+			Stats:      s.arch.Stats(),
+			QueueLen:   len(s.archCh),
+			Backfilled: s.backfilled,
+			Rebuilt:    s.archRebuilt,
+			Broken:     s.archBroken.Load(),
+		}
+	}
 	// runtime/metrics, not runtime.ReadMemStats: stats endpoints get polled
 	// every few seconds by monitoring, and ReadMemStats stops the world.
 	heap := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
@@ -559,6 +684,7 @@ func (s *Server) persistAll() {
 		synced int // durable watermark once this round's Sync succeeds
 	}
 	var wrote []written
+	var archBatch []storage.LoggedConvoy // mirror of this round's appends, in log order
 	truncUpTo := make([]int, len(feeds)) // durable as of the round's start
 	for i, f := range feeds {
 		f.mu.Lock()
@@ -579,6 +705,11 @@ func (s *Server) persistAll() {
 			s.sinkBroken.Store(true)
 			return
 		}
+		if s.arch != nil {
+			for _, c := range batch {
+				archBatch = append(archBatch, storage.LoggedConvoy{Feed: f.name, Convoy: c})
+			}
+		}
 		wrote = append(wrote, written{f: f, synced: newPersisted})
 	}
 	if len(wrote) > 0 {
@@ -592,6 +723,14 @@ func (s *Server) persistAll() {
 				w.f.durable = w.synced
 			}
 			w.f.mu.Unlock()
+		}
+		if s.arch != nil {
+			// Hand the synced batch to the archiver only after the log fsync:
+			// the archive must never hold a record the log could lose, or the
+			// two would diverge at the next backfill. The send can block once
+			// the channel is full — that stalls this background tick, never
+			// the ingest path.
+			s.archCh <- archBatch
 		}
 	}
 	// Second pass: once a flushed feed's whole history is durable, append

@@ -1,0 +1,596 @@
+// Package archive implements the historical convoy store behind convoyd's
+// /v1/query endpoints: every closed convoy that reaches the convoy log is
+// also appended here, and three LSM-backed secondary indexes make the
+// questions a scan-only log cannot answer — "which convoys crossed this
+// hour?", "which convoys contained object 42?", "which convoys had at
+// least m objects for at least k ticks?" — into bounded index range reads.
+//
+// # Layout
+//
+// An archive directory holds a records file plus three index databases:
+//
+//	records.k2cl   append-only (feed, convoy) records, the convoy-log codec
+//	time/ obj/ size/   lsm.DB secondary indexes (see key schemas below)
+//	META           durable re-index watermark (JSON, atomically replaced)
+//
+// The records file is the archive's primary copy; index entries are 8-byte
+// LSM keys mapping to a 16-byte locator (records-file offset, object
+// count, duration), so a query materialises each hit with one positioned
+// read. Key schemas, all through storage.EncodeKey's order-preserving
+// (int32, int32) packing with the record's archive sequence number as
+// tie-breaker:
+//
+//	time/  (convoy End,   seq) → locator   interval queries: scan keys with
+//	                                       End ≥ from, filter Start ≤ to —
+//	                                       Start is derived from the
+//	                                       locator's duration, no record
+//	                                       read needed to reject
+//	obj/   (member oid,   seq) → locator   one entry per member object
+//	size/  (object count, seq) → locator   min-size / min-duration queries
+//
+// # Crash safety
+//
+// AddBatch appends and fsyncs the records file before writing a single
+// index entry, so an index entry can never reference bytes a crash took
+// away. Index entries themselves need no WAL fsync: META records the count
+// of records whose index entries are durably flushed to SSTables, and Open
+// replays every record past that watermark through the indexes again —
+// index puts are idempotent (same key, same locator). A torn tail on the
+// records file is truncated away exactly as the convoy log does it.
+//
+// # Relationship to the convoy log
+//
+// The archive mirrors the convoy log record-for-record (flush markers are
+// skipped; duplicate records, possible after a feed eviction, are kept so
+// the two stay byte-equivalent — differential tests rely on it). Backfill
+// makes the mirror catch up after a restart: it skips the already-archived
+// prefix, verifying it against a running checksum of the log's bytes, and
+// archives the rest. A log that was compacted or replaced no longer
+// matches the checksum and fails with ErrDiverged; OpenAndBackfill then
+// deletes the archive and rebuilds it from the log, which is always the
+// source of truth.
+package archive
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/storage"
+	"repro/internal/storage/lsm"
+)
+
+// ErrDiverged is returned by Backfill when the convoy log is not an
+// extension of what the archive already holds — after an offline
+// compaction, or when the log was replaced wholesale. The archive must be
+// rebuilt from scratch (OpenAndBackfill does it automatically).
+var ErrDiverged = errors.New("archive: convoy log diverged from archived prefix")
+
+// Options tunes an archive.
+type Options struct {
+	// CacheBytes is the combined in-memory write-buffer budget of the
+	// three secondary indexes (a third each); larger values mean fewer,
+	// bigger SSTable flushes. Default 12 MiB.
+	CacheBytes int
+}
+
+const (
+	recordsName = "records.k2cl"
+	metaName    = "META"
+	// maxSeq bounds the archive to what the int32 sequence component of
+	// the index keys can address.
+	maxSeq = math.MaxInt32
+)
+
+// meta is the durable checkpoint: index entries for the first Records
+// records of the records file are flushed to SSTables, Offset is the file
+// offset just past record Records−1, and CRC is the running record
+// checksum up to that point. Open trusts the checkpoint (it is written
+// only after the records it covers are fsynced) and replays just the
+// records past it, so startup cost is proportional to the un-flushed
+// tail, not the archive's lifetime history.
+type meta struct {
+	Records int64  `json:"records"`
+	Offset  int64  `json:"offset"`
+	CRC     uint32 `json:"crc"`
+}
+
+// Archive is an LSM-indexed store of closed convoys. Writes (AddBatch,
+// Backfill, Flush) are serialised; queries run concurrently under a read
+// lock.
+type Archive struct {
+	dir  string
+	opts Options
+
+	mu       sync.RWMutex
+	recs     *storage.ConvoyLog
+	recsRead *os.File // positioned-read handle for query materialisation
+	count    int64    // records archived (== non-marker convoys)
+	synced   int64    // durable byte size of the records file
+	crc      uint32   // IEEE CRC over every record's encoded bytes, in order
+	flushed  int64    // records covered by META (durably indexed)
+	timeIdx  *lsm.DB
+	objIdx   *lsm.DB
+	sizeIdx  *lsm.DB
+	closed   bool
+
+	// Query-side counters, exposed via Stats.
+	queries        atomic.Int64
+	entriesScanned atomic.Int64
+	recordsRead    atomic.Int64
+}
+
+// Open opens (or creates) the archive in dir, replaying through the
+// indexes any records file tail past the META watermark. Derived state
+// that cannot be reconciled (META claiming more records than the file
+// holds) falls back to a full re-index of the records file.
+func Open(dir string, opts *Options) (*Archive, error) {
+	a := &Archive{dir: dir}
+	if opts != nil {
+		a.opts = *opts
+	}
+	if a.opts.CacheBytes <= 0 {
+		a.opts.CacheBytes = 12 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("archive: mkdir: %w", err)
+	}
+	var m meta
+	if data, err := os.ReadFile(filepath.Join(dir, metaName)); err == nil {
+		if err := json.Unmarshal(data, &m); err != nil {
+			m = meta{} // unreadable watermark: re-index everything
+		}
+	}
+	if err := a.openIndexes(); err != nil {
+		return nil, err
+	}
+	recsPath := filepath.Join(dir, recordsName)
+	tail := int64(0) // known-good boundary to resume the append-open from
+	// A records file too short to hold its 8-byte header is what a crash
+	// right after archive creation leaves behind (the header sits in the
+	// writer's buffer until the first sync) — treat it like a missing
+	// file, which OpenConvoyLogFrom below recreates, instead of failing
+	// every subsequent startup.
+	if st, err := os.Stat(recsPath); err == nil && st.Size() >= 8 {
+		if tail, err = a.replayRecords(recsPath, m); err != nil {
+			a.closeIndexes()
+			return nil, err
+		}
+	} else if m.Records > 0 {
+		// Indexes without records: derived state nothing can anchor.
+		a.closeIndexes()
+		return nil, fmt.Errorf("archive: META claims %d records but %s is missing or empty", m.Records, recordsName)
+	}
+	// Resume the append-open at the boundary the replay already found —
+	// truncating any torn tail without rescanning the whole file.
+	recs, err := storage.OpenConvoyLogFrom(recsPath, tail, nil)
+	if err != nil {
+		a.closeIndexes()
+		return nil, err
+	}
+	a.recs = recs
+	a.synced = recs.Offset()
+	if a.recsRead, err = os.Open(recsPath); err != nil {
+		recs.Close()
+		a.closeIndexes()
+		return nil, fmt.Errorf("archive: open read handle: %w", err)
+	}
+	a.flushed = min(m.Records, a.count)
+	return a, nil
+}
+
+func (a *Archive) openIndexes() error {
+	var err error
+	if a.timeIdx, err = lsm.Open(filepath.Join(a.dir, "time"), a.indexOpts()); err != nil {
+		return err
+	}
+	if a.objIdx, err = lsm.Open(filepath.Join(a.dir, "obj"), a.indexOpts()); err != nil {
+		a.timeIdx.Close()
+		return err
+	}
+	if a.sizeIdx, err = lsm.Open(filepath.Join(a.dir, "size"), a.indexOpts()); err != nil {
+		a.timeIdx.Close()
+		a.objIdx.Close()
+		return err
+	}
+	return nil
+}
+
+func (a *Archive) indexOpts() *lsm.Options {
+	return &lsm.Options{MemtableBytes: a.opts.CacheBytes / 3}
+}
+
+func (a *Archive) closeIndexes() {
+	for _, db := range []*lsm.DB{a.timeIdx, a.objIdx, a.sizeIdx} {
+		if db != nil {
+			db.Close()
+		}
+	}
+}
+
+// replayRecords restores the in-memory counters (count, crc) and brings
+// the indexes up to date with the records file, returning the byte offset
+// of the last complete record's end. The META checkpoint is trusted (its
+// records were fsynced before it was written): counters seed from it and
+// only the tail past meta.Offset is scanned and indexed, so a restart
+// costs the un-flushed tail, not the archive's lifetime. A checkpoint the
+// file contradicts — shorter than the claimed offset, the usual sign of
+// outside interference — degrades to a full re-index rather than an
+// error: the records file is the primary copy and index entries are
+// always recomputable from it.
+func (a *Archive) replayRecords(path string, m meta) (int64, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	if m.Records < 0 || m.Offset < 0 || st.Size() < m.Offset {
+		return a.reindexAll(path)
+	}
+	a.count, a.crc = m.Records, m.CRC
+	end, err := a.scanAndIndex(path, m.Offset, m.Records)
+	if err != nil {
+		// The checkpoint did not land on a record boundary: start over.
+		return a.reindexAll(path)
+	}
+	return end, nil
+}
+
+// reindexAll rebuilds the three indexes from a clean slate by scanning
+// the whole records file.
+func (a *Archive) reindexAll(path string) (int64, error) {
+	a.closeIndexes()
+	for _, sub := range []string{"time", "obj", "size"} {
+		if err := os.RemoveAll(filepath.Join(a.dir, sub)); err != nil {
+			return 0, fmt.Errorf("archive: reset index: %w", err)
+		}
+	}
+	if err := a.openIndexes(); err != nil {
+		return 0, err
+	}
+	a.count, a.crc = 0, 0
+	return a.scanAndIndex(path, 0, 0)
+}
+
+// scanAndIndex scans records from the given boundary (record number seq at
+// byte offset from), indexing and checksumming each, and leaves count/crc
+// covering everything scanned. Returns the end boundary.
+func (a *Archive) scanAndIndex(path string, from, seq int64) (int64, error) {
+	end, err := storage.ScanConvoyLogFrom(path, from, func(off int64, rec storage.LoggedConvoy) error {
+		enc, err := storage.EncodeConvoyRecord(rec.Feed, rec.Convoy)
+		if err != nil {
+			return err
+		}
+		a.crc = crc32.Update(a.crc, crc32.IEEETable, enc)
+		if err := a.indexRecord(seq, off, rec); err != nil {
+			return err
+		}
+		seq++
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	a.count = seq
+	return end, nil
+}
+
+// indexRecord writes the three index entries (one per secondary key, plus
+// one per member object) for the record with the given archive sequence
+// number at the given records-file offset.
+func (a *Archive) indexRecord(seq, off int64, rec storage.LoggedConvoy) error {
+	if seq > maxSeq {
+		return fmt.Errorf("archive: sequence %d exceeds index capacity", seq)
+	}
+	c := rec.Convoy
+	loc := encodeLocator(off, int32(len(c.Objs)), c.End-c.Start+1)
+	s := int32(seq)
+	if err := a.timeIdx.PutKV(storage.EncodeKey(c.End, s), loc); err != nil {
+		return err
+	}
+	if err := a.sizeIdx.PutKV(storage.EncodeKey(int32(len(c.Objs)), s), loc); err != nil {
+		return err
+	}
+	for _, oid := range c.Objs {
+		if err := a.objIdx.PutKV(storage.EncodeKey(oid, s), loc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Add archives one record. Convenience wrapper over AddBatch.
+func (a *Archive) Add(rec storage.LoggedConvoy) error {
+	return a.AddBatch([]storage.LoggedConvoy{rec})
+}
+
+// AddBatch archives a batch of convoy-log records in order. Flush markers
+// are skipped (they are feed lifecycle state, not convoys). The batch's
+// records are durable in the records file before the first index entry for
+// them is written — the invariant Open's recovery depends on. Any error
+// leaves the archive unusable for further writes; the caller should close
+// it and rebuild from the convoy log.
+func (a *Archive) AddBatch(recs []storage.LoggedConvoy) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.addBatchLocked(recs)
+}
+
+func (a *Archive) addBatchLocked(recs []storage.LoggedConvoy) error {
+	if a.closed {
+		return errors.New("archive: closed")
+	}
+	type staged struct {
+		off int64
+		rec storage.LoggedConvoy
+	}
+	var batch []staged
+	for _, rec := range recs {
+		if storage.IsFlushMarker(rec.Convoy) {
+			continue
+		}
+		if a.count+int64(len(batch)) > maxSeq {
+			return fmt.Errorf("archive: full (%d records)", a.count)
+		}
+		enc, err := storage.EncodeConvoyRecord(rec.Feed, rec.Convoy)
+		if err != nil {
+			return err
+		}
+		batch = append(batch, staged{off: a.recs.Offset(), rec: rec})
+		if err := a.recs.AppendEncoded(enc); err != nil {
+			return err
+		}
+		a.crc = crc32.Update(a.crc, crc32.IEEETable, enc)
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	if err := a.recs.Sync(); err != nil {
+		return err
+	}
+	a.synced = a.recs.Offset()
+	for i, s := range batch {
+		if err := a.indexRecord(a.count+int64(i), s.off, s.rec); err != nil {
+			return err
+		}
+	}
+	a.count += int64(len(batch))
+	return nil
+}
+
+// Backfill brings the archive up to date with the convoy log at logPath:
+// the already-archived prefix is skipped (and checksummed against the
+// archive's own running CRC — any mismatch, e.g. after an offline
+// compaction, fails with ErrDiverged), the remaining records are archived,
+// and the index watermark is made durable. A missing log leaves an empty
+// archive. Torn log tails are tolerated exactly as ScanConvoyLog does.
+// Returns the number of records archived.
+func (a *Archive) Backfill(logPath string) (int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// A missing log — or one so short its 8-byte header never reached the
+	// disk (a freshly created, not-yet-synced sink) — holds no records.
+	if st, err := os.Stat(logPath); errors.Is(err, os.ErrNotExist) || (err == nil && st.Size() < 8) {
+		if a.count > 0 {
+			return 0, fmt.Errorf("%w: log empty, archive holds %d records", ErrDiverged, a.count)
+		}
+		return 0, nil
+	}
+	var (
+		pre     = a.count // records archived before this backfill
+		preCRC  = a.crc
+		skipped int64
+		prefix  uint32
+		added   int64
+		batch   []storage.LoggedConvoy
+	)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := a.addBatchLocked(batch); err != nil {
+			return err
+		}
+		added += int64(len(batch))
+		batch = batch[:0]
+		return nil
+	}
+	_, err := storage.ScanConvoyLogFrom(logPath, 0, func(off int64, rec storage.LoggedConvoy) error {
+		if storage.IsFlushMarker(rec.Convoy) {
+			return nil
+		}
+		if skipped < pre {
+			enc, err := storage.EncodeConvoyRecord(rec.Feed, rec.Convoy)
+			if err != nil {
+				return err
+			}
+			prefix = crc32.Update(prefix, crc32.IEEETable, enc)
+			if skipped++; skipped == pre && prefix != preCRC {
+				// Checked the moment the prefix is complete, before a single
+				// append — a diverged archive is abandoned, never extended.
+				return fmt.Errorf("%w: prefix checksum mismatch", ErrDiverged)
+			}
+			return nil
+		}
+		batch = append(batch, rec)
+		if len(batch) >= 512 {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return added, err
+	}
+	if skipped < pre {
+		return added, fmt.Errorf("%w: log holds %d records, archive %d", ErrDiverged, skipped, pre)
+	}
+	if err := flush(); err != nil {
+		return added, err
+	}
+	return added, a.flushLocked()
+}
+
+// OpenAndBackfill opens the archive at dir and backfills it from the
+// convoy log at logPath. When the log has diverged from the archived
+// prefix (offline compaction, replaced log), the archive's files are
+// deleted and rebuilt from the log — the log is the source of truth and
+// the archive is derived state. Returns the opened archive, the number of
+// records backfilled, and whether a rebuild happened.
+func OpenAndBackfill(dir, logPath string, opts *Options) (*Archive, int64, bool, error) {
+	a, err := Open(dir, opts)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	added, err := a.Backfill(logPath)
+	if err == nil {
+		return a, added, false, nil
+	}
+	if !errors.Is(err, ErrDiverged) {
+		a.Close()
+		return nil, 0, false, err
+	}
+	a.Close()
+	if err := removeArchiveFiles(dir); err != nil {
+		return nil, 0, false, fmt.Errorf("archive: rebuild: %w", err)
+	}
+	if a, err = Open(dir, opts); err != nil {
+		return nil, 0, false, err
+	}
+	if added, err = a.Backfill(logPath); err != nil {
+		a.Close()
+		return nil, 0, false, err
+	}
+	return a, added, true, nil
+}
+
+// removeArchiveFiles deletes only the entries the archive owns. The
+// directory itself — and anything else an operator keeps in it — is left
+// alone; a rebuild must never be the thing that destroys unrelated files
+// under a user-supplied path.
+func removeArchiveFiles(dir string) error {
+	for _, name := range []string{recordsName, metaName, metaName + ".tmp", "time", "obj", "size"} {
+		if err := os.RemoveAll(filepath.Join(dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush makes the indexes durable (memtables → SSTables) and advances the
+// META watermark, so the next Open replays only records archived after
+// this call.
+func (a *Archive) Flush() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.flushLocked()
+}
+
+func (a *Archive) flushLocked() error {
+	if a.closed {
+		return errors.New("archive: closed")
+	}
+	if err := a.recs.Sync(); err != nil {
+		return err
+	}
+	a.synced = a.recs.Offset()
+	for _, db := range []*lsm.DB{a.timeIdx, a.objIdx, a.sizeIdx} {
+		if err := db.Flush(); err != nil {
+			return err
+		}
+	}
+	data, err := json.Marshal(meta{Records: a.count, Offset: a.synced, CRC: a.crc})
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(a.dir, metaName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(a.dir, metaName)); err != nil {
+		return err
+	}
+	a.flushed = a.count
+	return nil
+}
+
+// Close flushes and closes the archive.
+func (a *Archive) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil
+	}
+	firstErr := a.flushLocked()
+	a.closed = true
+	for _, db := range []*lsm.DB{a.timeIdx, a.objIdx, a.sizeIdx} {
+		if err := db.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := a.recs.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := a.recsRead.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Count returns the number of archived convoys.
+func (a *Archive) Count() int64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.count
+}
+
+// Stats is a point-in-time snapshot of the archive's size and query
+// counters, shaped for convoyd's /v1/stats.
+type Stats struct {
+	Records        int64 `json:"records"`
+	RecordsBytes   int64 `json:"records_bytes"`
+	IndexedDurable int64 `json:"indexed_durable"`
+	QueriesTotal   int64 `json:"queries_total"`
+	EntriesScanned int64 `json:"index_entries_scanned_total"`
+	RecordsRead    int64 `json:"records_read_total"`
+}
+
+// Stats returns the archive counters.
+func (a *Archive) Stats() Stats {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return Stats{
+		Records:        a.count,
+		RecordsBytes:   a.synced,
+		IndexedDurable: a.flushed,
+		QueriesTotal:   a.queries.Load(),
+		EntriesScanned: a.entriesScanned.Load(),
+		RecordsRead:    a.recordsRead.Load(),
+	}
+}
+
+// --- locator codec ------------------------------------------------------
+
+// encodeLocator packs an index value: records-file offset, object count,
+// and duration in ticks. Size and duration ride along so min-size and
+// min-duration predicates (and the Start = End−dur+1 derivation time
+// queries need) are answered from the index entry alone.
+func encodeLocator(off int64, size, dur int32) [storage.ValueSize]byte {
+	var v [storage.ValueSize]byte
+	binary.LittleEndian.PutUint64(v[0:8], uint64(off))
+	binary.LittleEndian.PutUint32(v[8:12], uint32(size))
+	binary.LittleEndian.PutUint32(v[12:16], uint32(dur))
+	return v
+}
+
+func decodeLocator(v []byte) (off int64, size, dur int32) {
+	off = int64(binary.LittleEndian.Uint64(v[0:8]))
+	size = int32(binary.LittleEndian.Uint32(v[8:12]))
+	dur = int32(binary.LittleEndian.Uint32(v[12:16]))
+	return off, size, dur
+}

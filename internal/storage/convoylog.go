@@ -26,14 +26,16 @@ import (
 // one log; Sync flushes the buffer and fsyncs, which is what the server's
 // periodic persistence tick calls.
 type ConvoyLog struct {
-	mu sync.Mutex
-	f  *os.File
-	w  *bufio.Writer
+	mu  sync.Mutex
+	f   *os.File
+	w   *bufio.Writer
+	off int64 // byte offset where the next Append will land
 }
 
 const (
-	convoyLogMagic   = "K2CL"
-	convoyLogVersion = 1
+	convoyLogMagic      = "K2CL"
+	convoyLogVersion    = 1
+	convoyLogHeaderSize = 8
 	// maxLoggedConvoySize caps the object count a reader will allocate for,
 	// so a corrupt length prefix cannot demand gigabytes.
 	maxLoggedConvoySize = 1 << 24
@@ -67,7 +69,7 @@ func CreateConvoyLog(path string) (*ConvoyLog, error) {
 	if err != nil {
 		return nil, fmt.Errorf("convoylog: create: %w", err)
 	}
-	l := &ConvoyLog{f: f, w: bufio.NewWriterSize(f, 1<<16)}
+	l := &ConvoyLog{f: f, w: bufio.NewWriterSize(f, 1<<16), off: convoyLogHeaderSize}
 	var hdr [8]byte
 	copy(hdr[0:4], convoyLogMagic)
 	binary.LittleEndian.PutUint32(hdr[4:8], convoyLogVersion)
@@ -78,15 +80,13 @@ func CreateConvoyLog(path string) (*ConvoyLog, error) {
 	return l, nil
 }
 
-// Append writes one closed convoy of the given feed to the log. The record
-// is serialised first and handed to the writer in a single call, so a
-// failing write cannot leave a half-built record in the buffer (bytes
-// already flushed to a failing disk may still be partial — after any error
-// the bufio writer is stuck in its error state and the log should be
-// considered ended at the last Sync).
-func (l *ConvoyLog) Append(feed string, c model.Convoy) error {
+// EncodeConvoyRecord serialises one (feed, convoy) record in the log's wire
+// format. It is exported so the archive can checksum a log prefix without
+// re-reading raw bytes: the codec is canonical (decode∘encode is the
+// identity), so re-encoding a decoded record reproduces the on-disk bytes.
+func EncodeConvoyRecord(feed string, c model.Convoy) ([]byte, error) {
 	if len(feed) > int(^uint16(0)) {
-		return fmt.Errorf("convoylog: feed name too long (%d bytes)", len(feed))
+		return nil, fmt.Errorf("convoylog: feed name too long (%d bytes)", len(feed))
 	}
 	rec := make([]byte, 0, 2+len(feed)+12+4*len(c.Objs))
 	rec = binary.LittleEndian.AppendUint16(rec, uint16(len(feed)))
@@ -97,10 +97,44 @@ func (l *ConvoyLog) Append(feed string, c model.Convoy) error {
 	for _, oid := range c.Objs {
 		rec = binary.LittleEndian.AppendUint32(rec, uint32(oid))
 	}
+	return rec, nil
+}
+
+// Append writes one closed convoy of the given feed to the log. The record
+// is serialised first and handed to the writer in a single call, so a
+// failing write cannot leave a half-built record in the buffer (bytes
+// already flushed to a failing disk may still be partial — after any error
+// the bufio writer is stuck in its error state and the log should be
+// considered ended at the last Sync).
+func (l *ConvoyLog) Append(feed string, c model.Convoy) error {
+	rec, err := EncodeConvoyRecord(feed, c)
+	if err != nil {
+		return err
+	}
+	return l.AppendEncoded(rec)
+}
+
+// AppendEncoded writes one record already serialised by EncodeConvoyRecord.
+// Callers that need the wire bytes anyway (the archive checksums them)
+// avoid encoding twice, and what they checksummed is exactly what was
+// appended.
+func (l *ConvoyLog) AppendEncoded(rec []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	_, err := l.w.Write(rec)
-	return err
+	if _, err := l.w.Write(rec); err != nil {
+		return err
+	}
+	l.off += int64(len(rec))
+	return nil
+}
+
+// Offset returns the byte offset at which the next Append will land. After
+// a Sync it is also the durable size of the log file; the archive uses it
+// to address records it has just written.
+func (l *ConvoyLog) Offset() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.off
 }
 
 // AppendAll writes every convoy of one feed.
@@ -226,6 +260,20 @@ func ReadConvoyLog(path string) ([]LoggedConvoy, error) {
 // OpenConvoyLog can truncate them away. Genuine corruption (bad magic,
 // implausible lengths) and fn errors still fail.
 func ScanConvoyLog(path string, fn func(LoggedConvoy) error) (int64, error) {
+	var wrapped func(int64, LoggedConvoy) error
+	if fn != nil {
+		wrapped = func(_ int64, rec LoggedConvoy) error { return fn(rec) }
+	}
+	return ScanConvoyLogFrom(path, 0, wrapped)
+}
+
+// ScanConvoyLogFrom is ScanConvoyLog with positions: fn receives each
+// record's starting byte offset, and the scan may resume mid-log at a
+// record boundary `from` previously returned by a scan (0 means the first
+// record, right after the header — the header is validated in either
+// case). The archive uses it to re-index only the records past its durable
+// watermark.
+func ScanConvoyLogFrom(path string, from int64, fn func(off int64, rec LoggedConvoy) error) (int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, fmt.Errorf("convoylog: open: %w", err)
@@ -235,7 +283,14 @@ func ScanConvoyLog(path string, fn func(LoggedConvoy) error) (int64, error) {
 	if err := readLogHeader(r); err != nil {
 		return 0, err
 	}
-	off := int64(8)
+	off := int64(convoyLogHeaderSize)
+	if from > off {
+		if _, err := f.Seek(from, io.SeekStart); err != nil {
+			return 0, fmt.Errorf("convoylog: seek: %w", err)
+		}
+		r.Reset(f)
+		off = from
+	}
 	for i := 0; ; i++ {
 		rec, size, err := readLogRecord(r)
 		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
@@ -245,12 +300,30 @@ func ScanConvoyLog(path string, fn func(LoggedConvoy) error) (int64, error) {
 			return off, fmt.Errorf("convoylog: scan record %d: %w", i, err)
 		}
 		if fn != nil {
-			if err := fn(rec); err != nil {
+			if err := fn(off, rec); err != nil {
 				return off, err
 			}
 		}
 		off += size
 	}
+}
+
+// ReadConvoyAt decodes the single record starting at byte offset off. It is
+// the random-access read path of the archive: secondary indexes store
+// record offsets, and a query materialises each hit with one positioned
+// read. The offset must be a record boundary previously produced by
+// ScanConvoyLogFrom or ConvoyLog.Offset; arbitrary offsets fail with a
+// decode error (or worse, decode garbage), they are not validated.
+func ReadConvoyAt(r io.ReaderAt, off int64) (LoggedConvoy, error) {
+	// Records are small (tens of bytes to a few KiB); a 4 KiB first read
+	// covers almost all of them in one pread, and the SectionReader serves
+	// the rare oversized object list with follow-up reads.
+	br := bufio.NewReaderSize(io.NewSectionReader(r, off, 1<<31), 4096)
+	rec, _, err := readLogRecord(br)
+	if err != nil {
+		return LoggedConvoy{}, fmt.Errorf("convoylog: read at %d: %w", off, truncated(err))
+	}
+	return rec, nil
 }
 
 // OpenConvoyLog opens the log at path for appending, creating it when
@@ -259,6 +332,18 @@ func ScanConvoyLog(path string, fn func(LoggedConvoy) error) (int64, error) {
 // append lands on a record boundary. A file too short to hold even the
 // header (a crash before the first sync) is recreated from scratch.
 func OpenConvoyLog(path string, fn func(LoggedConvoy) error) (*ConvoyLog, error) {
+	var wrapped func(int64, LoggedConvoy) error
+	if fn != nil {
+		wrapped = func(_ int64, rec LoggedConvoy) error { return fn(rec) }
+	}
+	return OpenConvoyLogFrom(path, 0, wrapped)
+}
+
+// OpenConvoyLogFrom is OpenConvoyLog resuming the replay at a known record
+// boundary (a durable watermark a caller already trusts), so opening a
+// large log does not pay a full-prefix rescan. from = 0 replays
+// everything.
+func OpenConvoyLogFrom(path string, from int64, fn func(off int64, rec LoggedConvoy) error) (*ConvoyLog, error) {
 	st, err := os.Stat(path)
 	if os.IsNotExist(err) || (err == nil && st.Size() < 8) {
 		return CreateConvoyLog(path)
@@ -266,7 +351,7 @@ func OpenConvoyLog(path string, fn func(LoggedConvoy) error) (*ConvoyLog, error)
 	if err != nil {
 		return nil, fmt.Errorf("convoylog: stat: %w", err)
 	}
-	off, err := ScanConvoyLog(path, fn)
+	off, err := ScanConvoyLogFrom(path, from, fn)
 	if err != nil {
 		return nil, err
 	}
@@ -282,7 +367,7 @@ func OpenConvoyLog(path string, fn func(LoggedConvoy) error) (*ConvoyLog, error)
 		f.Close()
 		return nil, fmt.Errorf("convoylog: seek: %w", err)
 	}
-	return &ConvoyLog{f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+	return &ConvoyLog{f: f, w: bufio.NewWriterSize(f, 1<<16), off: off}, nil
 }
 
 // CompactConvoyLog rewrites the log at path keeping only the first

@@ -310,3 +310,113 @@ func TestConvoyLogRejectsGarbage(t *testing.T) {
 		t.Fatal("truncated record accepted")
 	}
 }
+
+// TestScanConvoyLogFromAndReadAt checks the positioned access paths the
+// archive is built on: the offsets handed to the scan callback address
+// record boundaries, resuming a scan from any of them yields exactly the
+// suffix, ReadConvoyAt round-trips every record by offset, and
+// ConvoyLog.Offset tracks the append position.
+func TestScanConvoyLogFromAndReadAt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pos.k2cl")
+	l, err := CreateConvoyLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var appendOffs []int64
+	for _, r := range tailTestRecords {
+		appendOffs = append(appendOffs, l.Offset())
+		if err := l.Append(r.Feed, r.Convoy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end := l.Offset()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != st.Size() {
+		t.Fatalf("Offset() %d != file size %d", end, st.Size())
+	}
+
+	var scanOffs []int64
+	off, err := ScanConvoyLogFrom(path, 0, func(off int64, rec LoggedConvoy) error {
+		scanOffs = append(scanOffs, off)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != end {
+		t.Fatalf("scan end %d, want %d", off, end)
+	}
+	if len(scanOffs) != len(appendOffs) {
+		t.Fatalf("scanned %d records, want %d", len(scanOffs), len(appendOffs))
+	}
+	for i := range appendOffs {
+		if scanOffs[i] != appendOffs[i] {
+			t.Fatalf("record %d: scan offset %d, append offset %d", i, scanOffs[i], appendOffs[i])
+		}
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i, want := range tailTestRecords {
+		got, err := ReadConvoyAt(f, scanOffs[i])
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got.Feed != want.Feed || !got.Convoy.Equal(want.Convoy) {
+			t.Fatalf("record %d: %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadConvoyAt(f, end); err == nil {
+		t.Fatal("ReadConvoyAt past the end succeeded")
+	}
+
+	// Resume from each boundary: the scan must yield exactly the suffix.
+	for i, from := range scanOffs {
+		var got []LoggedConvoy
+		off, err := ScanConvoyLogFrom(path, from, func(_ int64, rec LoggedConvoy) error {
+			got = append(got, rec)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("resume at %d: %v", from, err)
+		}
+		if off != end || len(got) != len(tailTestRecords)-i {
+			t.Fatalf("resume at %d: %d records to offset %d, want %d to %d",
+				from, len(got), off, len(tailTestRecords)-i, end)
+		}
+		if got[0].Feed != tailTestRecords[i].Feed {
+			t.Fatalf("resume at %d: first record %+v, want %+v", from, got[0], tailTestRecords[i])
+		}
+	}
+}
+
+// TestEncodeConvoyRecordCanonical: re-encoding a decoded record reproduces
+// the on-disk bytes — the property the archive's divergence checksum needs.
+func TestEncodeConvoyRecordCanonical(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "canon.k2cl")
+	data := writeTestLog(t, path, tailTestRecords)
+	var rebuilt []byte
+	if _, err := ScanConvoyLog(path, func(rec LoggedConvoy) error {
+		enc, err := EncodeConvoyRecord(rec.Feed, rec.Convoy)
+		if err != nil {
+			return err
+		}
+		rebuilt = append(rebuilt, enc...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if string(rebuilt) != string(data[convoyLogHeaderSize:]) {
+		t.Fatal("re-encoded records differ from the on-disk bytes")
+	}
+}

@@ -8,6 +8,16 @@
 // many runs accumulate. Benchmark-point reads are range scans (all keys of
 // one timestamp are co-located, one positioning per run); HWMT reads are
 // bloom-guarded point gets.
+//
+// The engine serves two consumers. As a storage.Store (Put/Snapshot/Fetch)
+// it holds trajectory points for the miners, exactly the paper's role. As a
+// raw ordered key/value store (PutKV/Scan) it backs the secondary indexes
+// of the historical convoy archive (internal/storage/archive): any
+// fixed-width 8-byte key whose lexicographic order matches the caller's
+// logical order — the archive packs (time, seq), (oid, seq) and
+// (size, seq) pairs through storage.EncodeKey — maps to a 16-byte value,
+// and Scan provides the merged, budget-boundable range reads the query
+// endpoints page through.
 package lsm
 
 import (
@@ -163,13 +173,19 @@ func (db *DB) writeManifest() error {
 
 // Put inserts one point.
 func (db *DB) Put(p model.Point) error {
+	return db.PutKV(storage.EncodeKey(p.T, p.OID), storage.EncodeValue(p.X, p.Y))
+}
+
+// PutKV inserts one raw record: an 8-byte order-preserving key mapping to a
+// 16-byte value. It is the write path of the archive's secondary indexes,
+// which store record locators rather than coordinates; Put is a thin
+// wrapper over it. Writing the same key again overwrites the value.
+func (db *DB) PutKV(key [storage.KeySize]byte, val [storage.ValueSize]byte) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return errors.New("lsm: db closed")
 	}
-	key := storage.EncodeKey(p.T, p.OID)
-	val := storage.EncodeValue(p.X, p.Y)
 	if err := db.wal.append(key[:], val[:]); err != nil {
 		return err
 	}
@@ -179,7 +195,7 @@ func (db *DB) Put(p model.Point) error {
 		}
 	}
 	db.mem.put(key[:], val[:])
-	db.noteT(p.T)
+	db.noteKey(key[:])
 	db.count++
 	if db.mem.bytes() >= db.opts.MemtableBytes {
 		return db.flushLocked()
@@ -347,6 +363,30 @@ func (db *DB) Snapshot(t int32) ([]model.ObjPos, error) {
 	}
 	db.stats.AddScan(len(out))
 	return out, nil
+}
+
+// Scan calls fn for every record with key ≥ start, in ascending key order,
+// merged across the memtable and every on-disk run (newest version of a key
+// wins), until fn returns false or the keyspace is exhausted. The key and
+// value slices passed to fn are only valid during the call. The database
+// mutex is held for the whole scan — callers bound the walk (the archive's
+// query budget) and fn must not call back into the DB.
+func (db *DB) Scan(start [storage.KeySize]byte, fn func(key, val []byte) bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	its := make([]kvIterator, 0, len(db.tables)+1)
+	for _, tab := range db.tables {
+		its = append(its, tab.iterator(start[:], &db.stats))
+	}
+	its = append(its, db.mem.iterator(start[:]))
+	merged := newMergeIter(its)
+	for ; merged.valid(); merged.next() {
+		db.stats.AddScanned(1)
+		if !fn(merged.key(), merged.value()) {
+			break
+		}
+	}
+	return merged.err()
 }
 
 // Fetch implements storage.Store: bloom-guarded point gets.

@@ -16,6 +16,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -234,6 +235,29 @@ func fmtNs(ns float64) string {
 	}
 }
 
+// loadBaseline reads the baseline JSON for -md comparisons. A missing file
+// is not an error — the first bench run of a repo (or a fresh CI workspace)
+// has no committed baseline yet, and the job should still produce a table
+// of the current run rather than fail. The returned note explains the
+// degraded mode; an unreadable or malformed existing file still fails.
+func loadBaseline(path string) (*File, string, error) {
+	if path == "" {
+		return nil, "", nil
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Sprintf("_no baseline file at `%s` — this run only_", path), nil
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	base := &File{}
+	if err := json.Unmarshal(data, base); err != nil {
+		return nil, "", fmt.Errorf("baseline: %w", err)
+	}
+	return base, "", nil
+}
+
 func main() {
 	out := flag.String("o", "", "write JSON to this file (default stdout)")
 	md := flag.Bool("md", false, "emit a markdown table instead of JSON")
@@ -257,18 +281,14 @@ func main() {
 	}
 
 	if *md {
-		var base *File
-		if *baseline != "" {
-			data, err := os.ReadFile(*baseline)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "benchjson:", err)
-				os.Exit(1)
-			}
-			base = &File{}
-			if err := json.Unmarshal(data, base); err != nil {
-				fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
-				os.Exit(1)
-			}
+		base, note, err := loadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if note != "" {
+			fmt.Println(note)
+			fmt.Println()
 		}
 		markdown(os.Stdout, cur, base)
 		return

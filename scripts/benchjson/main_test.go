@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -98,5 +100,39 @@ func TestNormalizeName(t *testing.T) {
 		if got := normalizeName(in); got != want {
 			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func TestLoadBaselineMissing(t *testing.T) {
+	// No path: no baseline requested, no note.
+	base, note, err := loadBaseline("")
+	if base != nil || note != "" || err != nil {
+		t.Fatalf("empty path: %v %q %v", base, note, err)
+	}
+	// Missing file: degraded mode with a note, not an error — first-run
+	// bench jobs have no committed baseline yet.
+	base, note, err = loadBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatalf("missing baseline errored: %v", err)
+	}
+	if base != nil || note == "" {
+		t.Fatalf("missing baseline: base=%v note=%q", base, note)
+	}
+	// Malformed existing file: still an error.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadBaseline(bad); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+	// Well-formed file round-trips.
+	good := filepath.Join(t.TempDir(), "good.json")
+	if err := os.WriteFile(good, []byte(`{"benchmarks":[{"pkg":"p","name":"BenchmarkX","samples":[{"runs":1,"ns_per_op":42}]}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, note, err = loadBaseline(good)
+	if err != nil || note != "" || base == nil || len(base.Benchmarks) != 1 {
+		t.Fatalf("good baseline: base=%+v note=%q err=%v", base, note, err)
 	}
 }

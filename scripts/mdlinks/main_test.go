@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSlug(t *testing.T) {
+	for in, want := range map[string]string{
+		"Querying the archive":        "querying-the-archive",
+		"`GET /v1/query/time`":        "get-v1querytime",
+		"Memory limits":               "memory-limits",
+		"k/2-hop — Fast Mining":       "k2-hop--fast-mining",
+		"Persistence and recovery":    "persistence-and-recovery",
+		"API reference (convoyd)":     "api-reference-convoyd",
+		"With_underscores and-dashes": "with_underscores-and-dashes",
+	} {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	write("docs/API.md", "# API\n\n## Endpoints\n\n### `GET /v1/stats`\n")
+	main := write("README.md", `# Readme
+
+Good: [api](docs/API.md), [anchor](docs/API.md#endpoints),
+[route](docs/API.md#get-v1stats), [self](#readme),
+[external](https://example.com/nope).
+
+`+"```bash\n[not a link](missing-in-fence.md)\n```"+`
+
+Bad: [gone](docs/MISSING.md) and [bad anchor](docs/API.md#nope).
+`)
+	broken, err := checkFile(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) != 2 {
+		t.Fatalf("got %d broken links, want 2: %v", len(broken), broken)
+	}
+	for i, frag := range []string{"docs/MISSING.md", "#nope"} {
+		found := false
+		for _, b := range broken {
+			if contains(b, frag) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("broken link %d (%s) not reported: %v", i, frag, broken)
+		}
+	}
+}
+
+func TestDuplicateHeadingAnchors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.md")
+	if err := os.WriteFile(path, []byte("# Same\n\n# Same\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	anchors, err := anchorsOf(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !anchors["same"] || !anchors["same-1"] {
+		t.Fatalf("duplicate headings: %v", anchors)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }
