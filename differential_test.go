@@ -52,11 +52,14 @@ func TestDifferentialStreamVsBatch(t *testing.T) {
 // TestDifferentialAllAlgorithms runs every algorithm over clique-cluster
 // datasets — where fully and partially connected convoy semantics coincide
 // — and requires all seven result sets (plus the streaming miner's) to be
-// identical.
+// identical. Since the dense-set refactor, the k/2-hop, PCCD, DCM and
+// streaming paths run entirely on interned bitsets while VCoDA, VCoDA*,
+// CuTS and SPARE kept their original representations, so this suite doubles
+// as a 120-seed cross-representation equivalence check.
 func TestDifferentialAllAlgorithms(t *testing.T) {
 	algos := []Algorithm{K2Hop, VCoDA, VCoDAStar, PCCD, CuTS, DCM, SPARE}
 	p := Params{M: 3, K: 4, Eps: minetest.Eps}
-	for seed := int64(0); seed < 12; seed++ {
+	for seed := int64(0); seed < 120; seed++ {
 		nObj := 8 + int(seed%4)
 		nTicks := 12 + int(seed%6)
 		ds := minetest.RandomClique(seed, nObj, nTicks)
@@ -90,6 +93,52 @@ func TestDifferentialAllAlgorithms(t *testing.T) {
 		}
 		if d := minetest.DiffConvoys("stream", sm.Flush(), "pccd", ref.Convoys); d != "" {
 			t.Fatalf("seed %d: %s", seed, d)
+		}
+	}
+}
+
+// TestDifferentialDenseVsSortedReference pins the word-parallel set engine
+// to the representation it replaced: minetest.ReferencePCCD is a frozen
+// sorted-slice transliteration of the PCCD sweep (ObjSet.Intersect /
+// ObjSet.SubsetOf, no interning), and over 120 seeded random datasets both
+// the batch miner and the streaming miner — which run every intersection,
+// size test and domination prune on interned dense bitsets — must produce
+// byte-identical canonical output. Convoy values, not just set membership:
+// Canonical renders ids, starts and ends.
+func TestDifferentialDenseVsSortedReference(t *testing.T) {
+	const trials = 120
+	for seed := int64(0); seed < trials; seed++ {
+		nObj := 8 + int(seed%5)
+		nTicks := 12 + int(seed%9)
+		ds := minetest.Random(seed, nObj, nTicks)
+		p := Params{M: 3, K: 4, Eps: minetest.Eps}
+
+		want := minetest.ReferencePCCD(ds, p.M, p.K, p.Eps)
+
+		batch, err := MineDataset(ds, p, &Options{Algorithm: PCCD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := minetest.DiffConvoys("dense-batch", batch.Convoys, "sorted-reference", want); d != "" {
+			t.Fatalf("seed %d (%d objs × %d ticks): %s", seed, nObj, nTicks, d)
+		}
+
+		sm, err := NewStreamMiner(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, te := ds.TimeRange()
+		for tt := ts; tt <= te; tt++ {
+			if err := sm.Observe(tt, ds.Snapshot(tt)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := sm.Flush()
+		if d := minetest.DiffConvoys("dense-stream", got, "sorted-reference", want); d != "" {
+			t.Fatalf("seed %d: %s", seed, d)
+		}
+		if sg, sw := minetest.Canonical(got), minetest.Canonical(want); sg != sw {
+			t.Fatalf("seed %d: canonical renderings differ:\ndense:\n%s\nreference:\n%s", seed, sg, sw)
 		}
 	}
 }

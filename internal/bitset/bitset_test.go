@@ -189,3 +189,173 @@ func TestNewNegative(t *testing.T) {
 		t.Fatalf("New(-3) should be empty")
 	}
 }
+
+// randomBits builds a bitset and its bool-slice model with density p.
+func randomBits(rng *rand.Rand, n int, p float64) (*Bits, naive) {
+	b := New(n)
+	m := make(naive, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			b.Set(i)
+			m[i] = true
+		}
+	}
+	return b, m
+}
+
+func TestWordParallelOpsMatchNaiveQuick(t *testing.T) {
+	f := func(seed int64, nRaw uint8, mRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		m := int(mRaw) % 12
+		rng := rand.New(rand.NewSource(seed))
+		a, ma := randomBits(rng, n, 0.4)
+		b, mb := randomBits(rng, n, 0.4)
+
+		interCount, unionCount, subset := 0, 0, true
+		for i := 0; i < n; i++ {
+			if ma[i] && mb[i] {
+				interCount++
+			}
+			if ma[i] || mb[i] {
+				unionCount++
+			}
+			if ma[i] && !mb[i] {
+				subset = false
+			}
+		}
+
+		scratch := New(n)
+		if got := scratch.AndOf(a, b); got != interCount {
+			return false
+		}
+		if scratch.Count() != interCount {
+			return false
+		}
+		if a.AndCount(b) != interCount {
+			return false
+		}
+		if a.AndCountAtLeast(b, m) != (interCount >= m) {
+			return false
+		}
+		if a.CountAtLeast(m) != (a.Count() >= m) {
+			return false
+		}
+		if scratch.OrOf(a, b); scratch.Count() != unionCount {
+			return false
+		}
+		if a.Clone().Or(b).Count() != unionCount {
+			return false
+		}
+		if a.SubsetOf(b) != subset {
+			return false
+		}
+		if !scratch.ClearAll().SubsetOf(a) || scratch.Any() {
+			return false
+		}
+
+		// Iteration must visit exactly the set bits, ascending.
+		var got []int32
+		got = a.AppendIndices(got)
+		var want []int32
+		for i, v := range ma {
+			if v {
+				want = append(want, int32(i))
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		sum := 0
+		a.ForEach(func(i int) { sum++ })
+		return sum == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAndOfAliasing(t *testing.T) {
+	a, b := New(130), New(130)
+	a.SetRange(0, 100)
+	b.SetRange(50, 129)
+	if n := a.AndOf(a, b); n != 51 {
+		t.Fatalf("aliased AndOf count = %d, want 51", n)
+	}
+	for i := 0; i < 130; i++ {
+		if a.Get(i) != (i >= 50 && i <= 100) {
+			t.Fatalf("aliased AndOf bit %d wrong", i)
+		}
+	}
+}
+
+func TestResizeReuses(t *testing.T) {
+	b := New(300)
+	b.SetRange(0, 299)
+	b.Resize(70)
+	if b.Len() != 70 || b.Count() != 0 {
+		t.Fatalf("Resize(70): len=%d count=%d", b.Len(), b.Count())
+	}
+	b.Set(69)
+	b.Resize(200) // regrow within capacity: must come back all-clear
+	if b.Len() != 200 || b.Count() != 0 {
+		t.Fatalf("Resize(200): len=%d count=%d", b.Len(), b.Count())
+	}
+	b.Resize(-1)
+	if b.Len() != 0 || b.Any() {
+		t.Fatalf("Resize(-1) should empty the set")
+	}
+}
+
+func TestAppendKey(t *testing.T) {
+	a, b := New(100), New(100)
+	a.SetRange(3, 40)
+	b.SetRange(3, 40)
+	if string(a.AppendKey(nil)) != string(b.AppendKey(nil)) {
+		t.Fatalf("equal sets, different keys")
+	}
+	b.Set(99)
+	if string(a.AppendKey(nil)) == string(b.AppendKey(nil)) {
+		t.Fatalf("different sets, equal keys")
+	}
+	if got := len(a.AppendKey(nil)); got != 16 {
+		t.Fatalf("key length = %d, want 16 (2 words)", got)
+	}
+}
+
+func TestPoolRecycles(t *testing.T) {
+	var p Pool
+	a := p.Get(70)
+	a.SetRange(0, 69)
+	b := p.Get(10)
+	if b == a {
+		t.Fatalf("Get must not hand out a live buffer")
+	}
+	p.Reset()
+	c := p.Get(128)
+	if c != a && c != b {
+		t.Fatalf("Reset should recycle buffers")
+	}
+	if c.Any() || c.Len() != 128 {
+		t.Fatalf("recycled buffer not cleared: count=%d len=%d", c.Count(), c.Len())
+	}
+}
+
+func TestSubsetOfEdges(t *testing.T) {
+	a, b := New(64), New(64)
+	if !a.SubsetOf(b) {
+		t.Fatalf("∅ ⊆ ∅")
+	}
+	b.Set(63)
+	if !a.SubsetOf(b) || b.SubsetOf(a) {
+		t.Fatalf("∅ ⊆ {63} and not vice versa")
+	}
+	a.Set(63)
+	if !a.SubsetOf(b) || !b.SubsetOf(a) {
+		t.Fatalf("{63} ⊆ {63} both ways")
+	}
+}

@@ -18,6 +18,7 @@ package cmc
 import (
 	"fmt"
 
+	"repro/internal/bitset"
 	"repro/internal/dbscan"
 	"repro/internal/model"
 	"repro/internal/storage"
@@ -25,7 +26,18 @@ import (
 
 // Miner is an incremental PCCD miner fed one clustered snapshot at a time.
 // It is the building block shared by the sequential baseline, the DCM
-// partition workers, and the validation re-miners.
+// partition workers, the validation re-miners and the streaming front-ends
+// (StreamMiner, and through it every convoyd shard).
+//
+// The per-tick work — intersecting every alive candidate with every cluster
+// of the tick, then domination-pruning the result — runs on interned dense
+// bitsets: a candidate can only survive tick t as a subset of some cluster
+// of t, so the union of the tick's clusters is the entire live universe.
+// Each Step interns that universe, encodes clusters and candidates once,
+// and replaces the sorted-slice merges with word-parallel AND/popcount and
+// subset tests. The dense buffers come from a pool owned by the miner, so
+// a long-lived stream reaches a steady state where set algebra allocates
+// only the surviving candidates' materialized ObjSets.
 type Miner struct {
 	m    int
 	keep func(model.Convoy) bool
@@ -39,11 +51,20 @@ type Miner struct {
 	fresh   []model.Convoy
 	lastT   int32
 	started bool
+
+	// Per-tick dense machinery, reused across Steps.
+	uniBuf model.ObjSet   // universe assembly buffer
+	bufs   bitset.Pool    // dense-set buffers, reset every Step
+	clBits []*bitset.Bits // encoded clusters of the current tick
 }
 
 type candidate struct {
 	objs  model.ObjSet
 	start int32
+	// bits is objs interned under the universe of the tick that created the
+	// candidate. It is only valid inside that Step (the buffer is recycled
+	// at the next one); Step re-encodes alive candidates each tick.
+	bits *bitset.Bits
 }
 
 // NewMiner creates a miner for (m,eps)-convoys of length ≥ k. Clustering
@@ -81,42 +102,59 @@ func (mn *Miner) Step(t int32, clusters []model.ObjSet) {
 	}
 	mn.started = true
 
+	// Intern the tick: a candidate can only continue as a subset of some
+	// cluster of t, so the clusters' members are the whole live universe.
+	mn.uniBuf = model.Universe(mn.uniBuf, clusters)
+	in := model.Intern(mn.uniBuf)
+	mn.bufs.Reset()
+	mn.clBits = mn.clBits[:0]
+	for _, c := range clusters {
+		mn.clBits = append(mn.clBits, in.Encode(c, mn.bufs.Get(in.Len())))
+	}
+
 	var next []candidate
-	// Extend alive candidates through the clusters of t.
+	// Extend alive candidates through the clusters of t. The quick-reject
+	// runs word-parallel with early exit at m; only intersections that meet
+	// the threshold materialize an ObjSet.
+	vBits := mn.bufs.Get(in.Len())
 	for _, v := range mn.alive {
+		in.Encode(v.objs, vBits)
 		survived := false
-		for _, c := range clusters {
-			inter := v.objs.Intersect(c)
-			if len(inter) < mn.m {
+		for j := range clusters {
+			if !vBits.AndCountAtLeast(mn.clBits[j], mn.m) {
 				continue
 			}
-			if len(inter) == len(v.objs) {
+			ib := mn.bufs.Get(in.Len())
+			n := ib.AndOf(vBits, mn.clBits[j])
+			if n == len(v.objs) {
 				survived = true
 			}
-			next = append(next, candidate{objs: inter, start: v.start})
+			next = append(next, candidate{objs: in.Decode(ib), start: v.start, bits: ib})
 		}
 		if !survived {
 			mn.emit(model.Convoy{Objs: v.objs, Start: v.start, End: mn.lastT})
 		}
 	}
 	// Every current cluster starts a fresh candidate (it may be dominated).
-	for _, c := range clusters {
-		next = append(next, candidate{objs: c, start: t})
+	for j, c := range clusters {
+		next = append(next, candidate{objs: c, start: t, bits: mn.clBits[j]})
 	}
 	mn.alive = dominate(next)
 	mn.lastT = t
 }
 
-// dominate removes duplicates and dominated candidates.
+// dominate removes duplicates and dominated candidates. All candidates of
+// one tick are interned under the same universe, so the subset tests are
+// word-parallel.
 func dominate(cands []candidate) []candidate {
 	var out []candidate
 	for _, c := range cands {
 		dominated := false
 		for j := 0; j < len(out); j++ {
 			switch {
-			case out[j].start <= c.start && c.objs.SubsetOf(out[j].objs):
+			case out[j].start <= c.start && c.bits.SubsetOf(out[j].bits):
 				dominated = true
-			case c.start <= out[j].start && out[j].objs.SubsetOf(c.objs):
+			case c.start <= out[j].start && out[j].bits.SubsetOf(c.bits):
 				// c dominates an existing candidate: drop it.
 				out[j] = out[len(out)-1]
 				out = out[:len(out)-1]

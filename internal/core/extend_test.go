@@ -99,22 +99,36 @@ func TestExtendStopsAtDatasetBoundary(t *testing.T) {
 }
 
 func TestExtendDominatePrunesInFlight(t *testing.T) {
+	// encode builds the dense candidates the way extendOne does: one shared
+	// interner per walk, every candidate encoded under it.
+	encode := func(cs ...model.Convoy) []extCand {
+		var all []model.ObjSet
+		for _, c := range cs {
+			all = append(all, c.Objs)
+		}
+		in := model.Intern(model.Universe(nil, all))
+		out := make([]extCand, len(cs))
+		for i, c := range cs {
+			out[i] = extCand{v: c, bits: in.Encode(c.Objs, nil)}
+		}
+		return out
+	}
 	a := model.NewConvoy(model.NewObjSet(1, 2, 3), 0, 10)
 	sub := model.NewConvoy(model.NewObjSet(1, 2), 2, 10) // same moving edge (right)
-	out := extendDominate([]model.Convoy{sub, a}, +1)
-	if len(out) != 1 || !out[0].Equal(a) {
+	out := extendDominate(encode(sub, a), +1)
+	if len(out) != 1 || !out[0].v.Equal(a) {
 		t.Fatalf("dominate = %v", out)
 	}
 	// Left direction: fixed edge is End.
 	b := model.NewConvoy(model.NewObjSet(1, 2, 3), 5, 12)
 	subL := model.NewConvoy(model.NewObjSet(2, 3), 5, 10)
-	out = extendDominate([]model.Convoy{b, subL}, -1)
-	if len(out) != 1 || !out[0].Equal(b) {
+	out = extendDominate(encode(b, subL), -1)
+	if len(out) != 1 || !out[0].v.Equal(b) {
 		t.Fatalf("dominate left = %v", out)
 	}
 	// Non-dominated pair survives.
 	c := model.NewConvoy(model.NewObjSet(4, 5), 0, 10)
-	out = extendDominate([]model.Convoy{a, c}, +1)
+	out = extendDominate(encode(a, c), +1)
 	if len(out) != 2 {
 		t.Fatalf("unrelated pruned: %v", out)
 	}

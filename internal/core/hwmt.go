@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/model"
+import (
+	"repro/internal/bitset"
+	"repro/internal/model"
+)
 
 // hwmt runs the Hop-Window Mining Tree (paper §4.3, Algorithm 2) over the
 // interior timestamps [lo, hi] of a hop-window, starting from the window's
@@ -10,6 +13,16 @@ import "repro/internal/model"
 // only coincidentally near each other at the benchmark points usually
 // separate at the window's middle, so whole windows are pruned after one or
 // two re-clusterings.
+//
+// Candidate sets within a window all live inside the window's universe
+// (∪cc), so each re-clustering level dedups its output word-parallel: the
+// clusters are encoded into one reusable dense scratch set (model.Interner
+// over the window universe) and keyed by their packed words. Different
+// candidates routinely shrink to the same surviving group; re-clustering
+// such a duplicate would re-fetch and re-cluster identical rows at every
+// remaining level for an identical outcome, so duplicates are dropped at
+// birth. This only removes repeated work — the set of distinct survivors,
+// and therefore the mined convoys, is unchanged.
 //
 // The survivors are object sets that form a cluster at every interior
 // timestamp of the window — the 1st-order spanning convoys, whose lifespan
@@ -23,15 +36,30 @@ func (mi *miner) hwmt(lo, hi int32, cc []model.ObjSet) ([]model.ObjSet, error) {
 	if mi.cfg.LinearHWMT {
 		order = linearOrder(lo, hi)
 	}
+	if len(order) == 0 {
+		return cc, nil
+	}
+	in := model.Intern(model.Universe(nil, cc))
+	scratch := bitset.New(in.Len())
+	var keyBuf []byte
+	seen := map[string]bool{}
 	cands := cc
 	for _, t := range order {
 		var next []model.ObjSet
+		clear(seen)
 		for _, objs := range cands {
 			clusters, err := mi.recluster(t, objs)
 			if err != nil {
 				return nil, err
 			}
-			next = append(next, clusters...)
+			for _, c := range clusters {
+				keyBuf = in.Encode(c, scratch).AppendKey(keyBuf[:0])
+				if seen[string(keyBuf)] {
+					continue
+				}
+				seen[string(keyBuf)] = true
+				next = append(next, c)
+			}
 		}
 		if len(next) == 0 {
 			return nil, nil // no spanning convoy in this window

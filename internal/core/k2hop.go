@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bitset"
 	"repro/internal/dcm"
 	"repro/internal/model"
 	"repro/internal/pool"
@@ -272,15 +273,50 @@ func (mi *miner) recluster(t int32, objs model.ObjSet) ([]model.ObjSet, error) {
 
 // intersectClusterSets computes the candidate clusters CC = {c ∩ c' : |c ∩
 // c'| ≥ m} of two benchmark cluster sets.
+//
+// The pairwise intersections run word-parallel: the window's objects are
+// interned (the universe is ∪a — an id absent from the left benchmark
+// cannot appear in any intersection), each cluster is encoded once, and
+// every pair costs one fused AND+popcount over the packed words instead of
+// a sorted-slice merge. Only pairs meeting the m threshold materialize an
+// ObjSet.
+//
+// Distinct benchmark pairs frequently produce the same intersection; such
+// duplicates are emitted once. Downstream cost (HWMT re-clustering) is
+// per-set, and identical sets behave identically through every later
+// phase, so duplicate candidates only multiply work without ever changing
+// the mined convoys.
 func intersectClusterSets(a, b []model.ObjSet, m int) []model.ObjSet {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	in := model.Intern(model.Universe(nil, a))
+	da := make([]*bitset.Bits, len(a))
+	for i, s := range a {
+		da[i] = in.Encode(s, nil)
+	}
+	db := make([]*bitset.Bits, len(b))
+	for j, s := range b {
+		db[j] = in.Encode(s, nil)
+	}
+	scratch := bitset.New(in.Len())
 	var out []model.ObjSet
-	for _, ca := range a {
-		for _, cb := range b {
-			// Quick reject before allocating.
-			if ca.IntersectSize(cb) < m {
+	var seen map[string]bool
+	var keyBuf []byte
+	for i := range da {
+		for j := range db {
+			if scratch.AndOf(da[i], db[j]) < m {
 				continue
 			}
-			out = append(out, ca.Intersect(cb))
+			if seen == nil {
+				seen = make(map[string]bool)
+			}
+			keyBuf = scratch.AppendKey(keyBuf[:0])
+			if seen[string(keyBuf)] {
+				continue
+			}
+			seen[string(keyBuf)] = true
+			out = append(out, in.Decode(scratch))
 		}
 	}
 	return out

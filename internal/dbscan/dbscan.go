@@ -15,7 +15,11 @@
 // index-free DBSCAN that the paper identifies as a bottleneck.
 package dbscan
 
-import "repro/internal/model"
+import (
+	"slices"
+
+	"repro/internal/model"
+)
 
 const (
 	unvisited = -2 // not yet processed
@@ -36,7 +40,7 @@ func Cluster(objs []model.ObjPos, eps float64, minPts int) []model.ObjSet {
 		return nil
 	}
 	idx := newGrid(objs, eps)
-	labels := make([]int, n)
+	labels := make([]int32, n) // int32 halves the per-call zeroing cost
 	for i := range labels {
 		labels[i] = unvisited
 	}
@@ -56,7 +60,7 @@ func Cluster(objs []model.ObjPos, eps float64, minPts int) []model.ObjSet {
 			continue
 		}
 		// i is a core point: start a new cluster and expand it BFS-style.
-		cid := len(clusters)
+		cid := int32(len(clusters))
 		labels[i] = cid
 		cluster := model.ObjSet{objs[i].OID}
 		frontier = frontier[:0]
@@ -88,7 +92,20 @@ func Cluster(objs []model.ObjPos, eps float64, minPts int) []model.ObjSet {
 			}
 		}
 		if len(cluster) >= minPts {
-			clusters = append(clusters, model.NewObjSet(cluster...))
+			// Each point index joins a cluster exactly once (the labels
+			// array guards), so after an in-place sort only duplicate OIDs —
+			// distinct points sharing an id, which the snapshot contract
+			// discourages but Cluster's API does not forbid — can break the
+			// ObjSet invariant. The common case is a branch-predicted scan;
+			// the dedup pass runs only when a duplicate actually exists.
+			slices.Sort(cluster)
+			for j := 1; j < len(cluster); j++ {
+				if cluster[j] == cluster[j-1] {
+					cluster = slices.Compact(cluster)
+					break
+				}
+			}
+			clusters = append(clusters, cluster)
 		} else {
 			// Cannot happen with standard DBSCAN (a core point has ≥ minPts
 			// neighbours, all of which join its cluster), but guard anyway.

@@ -260,6 +260,43 @@ func TestGridHandlesNegativeCoords(t *testing.T) {
 	}
 }
 
+// Duplicate OIDs (two points sharing an id — discouraged but not forbidden
+// by Cluster's API) must not leak into the result: an ObjSet is strictly
+// increasing.
+func TestClusterDedupsDuplicateOIDs(t *testing.T) {
+	objs := []model.ObjPos{
+		pos(5, 0, 0), pos(5, 0.1, 0), pos(2, 0, 0.1),
+	}
+	got := Cluster(objs, 1.0, 2)
+	if len(got) != 1 {
+		t.Fatalf("expected one cluster, got %v", got)
+	}
+	if !got[0].Valid() {
+		t.Fatalf("cluster is not a valid ObjSet: %v", got[0])
+	}
+	if want := model.NewObjSet(2, 5); !got[0].Equal(want) {
+		t.Fatalf("cluster = %v, want %v", got[0], want)
+	}
+}
+
+// Cells at the int32 cell-coordinate extremes must still see their own
+// column: the packed-key ranges clamp at the boundary instead of wrapping
+// (a wrapped range used to skip the whole column, turning boundary points
+// into noise).
+func TestGridHandlesExtremeCoords(t *testing.T) {
+	// With eps=1, y=±2^31∓ε lands in cell cy=MaxInt32 / MinInt32, where
+	// cy±1 would wrap.
+	for _, yy := range []float64{2147483647.0, -2147483648.0} {
+		objs := []model.ObjPos{
+			pos(1, 0, yy), pos(2, 0.1, yy), pos(3, 0.2, yy),
+		}
+		got := Cluster(objs, 1.0, 3)
+		if len(got) != 1 || len(got[0]) != 3 {
+			t.Fatalf("y=%v: boundary-cell points should cluster, got %v", yy, got)
+		}
+	}
+}
+
 func TestClusterContaining(t *testing.T) {
 	objs := []model.ObjPos{
 		pos(10, 0, 0), pos(20, 0.1, 0), pos(30, 0.2, 0),

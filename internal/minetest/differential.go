@@ -21,6 +21,76 @@ import (
 //     its own, making every partially connected convoy fully connected —
 //     use RandomClique, whose construction guarantees clique clusters.
 
+// ReferencePCCD is a deliberately naive PCCD sweep over sorted-slice
+// ObjSets: cluster every snapshot, intersect every alive candidate with
+// every cluster via ObjSet.Intersect, prune dominated candidates with
+// ObjSet.SubsetOf, keep maximal results in a ConvoySet. It is a frozen
+// transliteration of the algorithm's definition, kept free of the interned
+// dense-set engine on purpose so the differential suite can assert that
+// the word-parallel production path (cmc.Miner and everything stacked on
+// it) is byte-identical to the representation it replaced.
+func ReferencePCCD(ds *model.Dataset, m, k int, eps float64) []model.Convoy {
+	type cand struct {
+		objs  model.ObjSet
+		start int32
+	}
+	results := model.NewConvoySet()
+	var alive []cand
+	ts, te := ds.TimeRange()
+	for t := ts; t <= te; t++ {
+		clusters := dbscan.Cluster(ds.Snapshot(t), eps, m)
+		var next []cand
+		for _, v := range alive {
+			survived := false
+			for _, c := range clusters {
+				inter := v.objs.Intersect(c)
+				if len(inter) < m {
+					continue
+				}
+				if len(inter) == len(v.objs) {
+					survived = true
+				}
+				next = append(next, cand{objs: inter, start: v.start})
+			}
+			if !survived && int(t-1-v.start)+1 >= k {
+				results.Update(model.Convoy{Objs: v.objs, Start: v.start, End: t - 1})
+			}
+		}
+		for _, c := range clusters {
+			next = append(next, cand{objs: c, start: t})
+		}
+		// Domination pruning, in insertion order (same tie-breaking as the
+		// production miner).
+		var pruned []cand
+		for _, c := range next {
+			dominated := false
+			for j := 0; j < len(pruned); j++ {
+				switch {
+				case pruned[j].start <= c.start && c.objs.SubsetOf(pruned[j].objs):
+					dominated = true
+				case c.start <= pruned[j].start && pruned[j].objs.SubsetOf(c.objs):
+					pruned[j] = pruned[len(pruned)-1]
+					pruned = pruned[:len(pruned)-1]
+					j--
+				}
+				if dominated {
+					break
+				}
+			}
+			if !dominated {
+				pruned = append(pruned, c)
+			}
+		}
+		alive = pruned
+	}
+	for _, v := range alive {
+		if int(te-v.start)+1 >= k {
+			results.Update(model.Convoy{Objs: v.objs, Start: v.start, End: te})
+		}
+	}
+	return results.Sorted()
+}
+
 // RandomClique produces a dataset like Random — wandering groups, defecting
 // members, assorted convoy lengths — but with a geometric guarantee: every
 // (m,eps)-cluster at every tick is a clique (all members pairwise within

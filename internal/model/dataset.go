@@ -1,7 +1,9 @@
 package model
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -39,7 +41,9 @@ func NewDataset(points []Point) *Dataset {
 		d.snaps[i] = append(d.snaps[i], ObjPos{OID: p.OID, X: p.X, Y: p.Y})
 	}
 	for i, snap := range d.snaps {
-		sort.Slice(snap, func(a, b int) bool { return snap[a].OID < snap[b].OID })
+		// Stable sort so that "last occurrence" below really means last in
+		// input order among equal OIDs (and no reflect swapper allocation).
+		slices.SortStableFunc(snap, func(a, b ObjPos) int { return cmp.Compare(a.OID, b.OID) })
 		// Deduplicate by OID, keeping the last occurrence.
 		out := snap[:0]
 		for j := 0; j < len(snap); j++ {

@@ -14,8 +14,10 @@
 package model
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -61,7 +63,7 @@ func NewObjSet(ids ...int32) ObjSet {
 	}
 	s := make(ObjSet, len(ids))
 	copy(s, ids)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 	out := s[:1]
 	for _, id := range s[1:] {
 		if id != out[len(out)-1] {
@@ -303,25 +305,26 @@ func (c Convoy) String() string {
 }
 
 // SortConvoys orders convoys canonically (by start, end, size, then ids) so
-// result sets can be compared in tests.
+// result sets can be compared in tests. The comparison-based generic sort
+// avoids the reflect swapper sort.Slice would allocate — this runs on every
+// ConvoySet.Sorted call in the extension phases, not just in tests.
 func SortConvoys(cs []Convoy) {
-	sort.Slice(cs, func(i, j int) bool {
-		a, b := cs[i], cs[j]
-		if a.Start != b.Start {
-			return a.Start < b.Start
+	slices.SortFunc(cs, func(a, b Convoy) int {
+		if c := cmp.Compare(a.Start, b.Start); c != 0 {
+			return c
 		}
-		if a.End != b.End {
-			return a.End < b.End
+		if c := cmp.Compare(a.End, b.End); c != 0 {
+			return c
 		}
-		if len(a.Objs) != len(b.Objs) {
-			return len(a.Objs) < len(b.Objs)
+		if c := cmp.Compare(len(a.Objs), len(b.Objs)); c != 0 {
+			return c
 		}
 		for k := range a.Objs {
-			if a.Objs[k] != b.Objs[k] {
-				return a.Objs[k] < b.Objs[k]
+			if c := cmp.Compare(a.Objs[k], b.Objs[k]); c != 0 {
+				return c
 			}
 		}
-		return false
+		return 0
 	})
 }
 

@@ -157,9 +157,16 @@ func seqs2(seqs map[pair]*bitset.Bits, a int32) map[int32]*bitset.Bits {
 // anchored sequences and pruning when the longest run drops below k. Every
 // surviving group emits one convoy per ≥k run; global maximality filtering
 // happens in the caller.
+//
+// The DFS runs on the shared set engine's reuse pattern: one bitset buffer
+// per depth (siblings at a depth overwrite it, descendants use deeper
+// buffers) and one shared group stack, so enumeration allocates only for
+// emitted convoys — the old per-node AndNew clone made the enumerator the
+// dominant allocator on dense stars.
 func enumerateStar(a int32, neighbours []int32, seq map[int32]*bitset.Bits, nTicks int, ts int32, cfg Config) []model.Convoy {
 	var out []model.Convoy
-	emit := func(group []int32, bits *bitset.Bits) {
+	group := make([]int32, 0, len(neighbours)) // shared DFS stack
+	emit := func(bits *bitset.Bits) {
 		if len(group)+1 < cfg.M {
 			return
 		}
@@ -172,21 +179,28 @@ func enumerateStar(a int32, neighbours []int32, seq map[int32]*bitset.Bits, nTic
 			})
 		}
 	}
-	var dfs func(group []int32, bits *bitset.Bits, from int)
-	dfs = func(group []int32, bits *bitset.Bits, from int) {
-		emit(group, bits)
+	var bufs []*bitset.Bits // one AND buffer per DFS depth
+	var dfs func(bits *bitset.Bits, from, depth int)
+	dfs = func(bits *bitset.Bits, from, depth int) {
+		emit(bits)
 		for i := from; i < len(neighbours); i++ {
 			nb := neighbours[i]
-			next := bits.AndNew(seq[nb])
-			if next.MaxRun() < cfg.K {
+			if depth == len(bufs) {
+				bufs = append(bufs, bitset.New(nTicks))
+			}
+			next := bufs[depth]
+			// Fewer than k set bits cannot contain a k-run; the fused count
+			// skips the run scan for most pruned branches.
+			if next.AndOf(bits, seq[nb]) < cfg.K || next.MaxRun() < cfg.K {
 				continue // apriori pruning: supersets can only shrink runs
 			}
-			grown := append(append([]int32(nil), group...), nb)
-			dfs(grown, next, i+1)
+			group = append(group, nb)
+			dfs(next, i+1, depth+1)
+			group = group[:len(group)-1]
 		}
 	}
 	full := bitset.New(nTicks)
 	full.SetRange(0, nTicks-1)
-	dfs(nil, full, 0)
+	dfs(full, 0, 0)
 	return out
 }

@@ -21,7 +21,12 @@ import (
 // batch miner over persisted history for FC results.
 //
 // A StreamMiner is not safe for concurrent use; the convoyd server gives
-// each feed a single owning shard actor for exactly this reason.
+// each feed a single owning shard actor for exactly this reason. That
+// single-owner rule is also what lets the underlying sweep engine keep
+// per-miner dense-set buffers (cmc.Miner interns each tick's objects and
+// runs its intersections word-parallel; see docs/ARCHITECTURE.md "Set
+// representation"): a long-lived feed reaches a steady state where
+// ingesting a tick allocates only for the convoys it actually closes.
 type StreamMiner struct {
 	params Params
 	miner  *cmc.Miner
