@@ -8,9 +8,13 @@ package convoy
 // implementations of the same semantics fails loudly with a set diff.
 
 import (
+	"reflect"
 	"testing"
 
+	"repro/internal/datagen/brinkhoff"
+	"repro/internal/dbscan"
 	"repro/internal/minetest"
+	"repro/internal/model"
 )
 
 // TestDifferentialStreamVsBatch mines ≥100 seeded random datasets both
@@ -169,6 +173,122 @@ func TestDifferentialStreamResetReuse(t *testing.T) {
 			t.Fatalf("seed %d: %s", seed, d)
 		}
 		sm.Reset()
+	}
+}
+
+// TestDifferentialIncrementalClustersVsScratch is the clustering-level half
+// of the incremental proof: one dbscan.Incremental per dataset, fed every
+// snapshot in order, must emit reflect.DeepEqual output to a scratch
+// dbscan.Cluster call at every single tick — same member sets, same member
+// order, same cluster order, nil-vs-empty included. 120 seeds of the
+// always-present generator plus 120 seeds of the churn generator (objects
+// joining and leaving mid-stream), the exact regime the delta engine
+// carries state through.
+func TestDifferentialIncrementalClustersVsScratch(t *testing.T) {
+	gens := []struct {
+		name string
+		gen  func(seed int64, nObj, nTicks int) *model.Dataset
+	}{
+		{"random", minetest.Random},
+		{"churn", minetest.RandomChurn},
+	}
+	for _, g := range gens {
+		for seed := int64(0); seed < 120; seed++ {
+			nObj := 8 + int(seed%5)
+			nTicks := 12 + int(seed%9)
+			ds := g.gen(seed, nObj, nTicks)
+			inc, err := dbscan.NewIncremental(minetest.Eps, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts, te := ds.TimeRange()
+			for tt := ts; tt <= te; tt++ {
+				snap := ds.Snapshot(tt)
+				got := inc.Step(snap)
+				want := dbscan.Cluster(snap, minetest.Eps, 3)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s seed %d t=%d: incremental %v != scratch %v", g.name, seed, tt, got, want)
+				}
+			}
+			if st := inc.Stats(); st.Fallbacks != 0 {
+				t.Fatalf("%s seed %d: unexpected fallback ticks: %+v", g.name, seed, st)
+			}
+		}
+	}
+}
+
+// TestDifferentialStreamVsBatchChurn is TestDifferentialStreamVsBatch over
+// the high-churn generator: objects join and leave the feed mid-stream, so
+// the streaming side's incremental clustering state sees appearance and
+// disappearance deltas on nearly every tick, and its convoy output must
+// still be byte-identical to the batch oracle.
+func TestDifferentialStreamVsBatchChurn(t *testing.T) {
+	const trials = 120
+	for seed := int64(0); seed < trials; seed++ {
+		nObj := 8 + int(seed%5)
+		nTicks := 12 + int(seed%9)
+		ds := minetest.RandomChurn(seed, nObj, nTicks)
+		p := Params{M: 3, K: 4, Eps: minetest.Eps}
+
+		sm, err := NewStreamMiner(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, te := ds.TimeRange()
+		for tt := ts; tt <= te; tt++ {
+			if err := sm.Observe(tt, ds.Snapshot(tt)); err != nil {
+				t.Fatalf("seed %d: observe t=%d: %v", seed, tt, err)
+			}
+		}
+		got := sm.Flush()
+
+		want, err := MineDataset(ds, p, &Options{Algorithm: PCCD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := minetest.DiffConvoys("stream", got, "batch", want.Convoys); d != "" {
+			t.Fatalf("seed %d (%d objs × %d ticks): %s", seed, nObj, nTicks, d)
+		}
+		if sg, sb := minetest.Canonical(got), minetest.Canonical(want.Convoys); sg != sb {
+			t.Fatalf("seed %d: canonical renderings differ:\nstream:\n%s\nbatch:\n%s", seed, sg, sb)
+		}
+	}
+}
+
+// TestDifferentialStreamVsBatchBrinkhoff runs the stream-vs-batch
+// differential over small road-network datasets: Brinkhoff traffic has
+// structural churn (objects spawn every tick and disappear on arrival at
+// their destination), which is the production-shaped counterpart to
+// RandomChurn's uniform coin flips.
+func TestDifferentialStreamVsBatchBrinkhoff(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		bp := brinkhoff.Params{
+			Seed: seed, GridW: 8, GridH: 8, SpaceW: 2000, SpaceH: 2000,
+			MaxTime: 60, ObjBegin: 40, ObjPerTick: 3, Classes: 3,
+			PlatoonFraction: 0.4, PlatoonSize: 4, PlatoonSpread: 20, Jitter: 10,
+		}
+		ds := brinkhoff.Generate(bp)
+		p := Params{M: 3, K: 3, Eps: 40}
+
+		sm, err := NewStreamMiner(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, te := ds.TimeRange()
+		for tt := ts; tt <= te; tt++ {
+			if err := sm.Observe(tt, ds.Snapshot(tt)); err != nil {
+				t.Fatalf("seed %d: observe t=%d: %v", seed, tt, err)
+			}
+		}
+		got := sm.Flush()
+
+		want, err := MineDataset(ds, p, &Options{Algorithm: PCCD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := minetest.DiffConvoys("stream", got, "batch", want.Convoys); d != "" {
+			t.Fatalf("seed %d: %s", seed, d)
+		}
 	}
 }
 

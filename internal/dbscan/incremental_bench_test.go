@@ -1,0 +1,115 @@
+package dbscan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// The churn benchmarks model a convoyd feed at steady state: 4000 objects
+// in 125 well-separated groups of 32, where each tick a churn-fraction of
+// the groups jiggles (sub-eps moves, the common GPS-fix case) and the rest
+// hold position. churn=100 moves every group every tick — the worst case
+// for delta reasoning, where the incremental engine degenerates to
+// re-querying everything; churn=1 is the "mostly parked" regime the
+// ROADMAP's feeds-per-node target cares about.
+
+const (
+	benchGroups   = 125
+	benchPerGroup = 32
+	benchEps      = 1.5
+	benchMinPts   = 4
+)
+
+func benchWorld() []model.ObjPos {
+	objs := make([]model.ObjPos, 0, benchGroups*benchPerGroup)
+	for g := 0; g < benchGroups; g++ {
+		cx, cy := float64(g%12)*50, float64(g/12)*50
+		for m := 0; m < benchPerGroup; m++ {
+			objs = append(objs, model.ObjPos{
+				OID: int32(g*benchPerGroup + m),
+				X:   cx + float64(m%6)*0.9,
+				Y:   cy + float64(m/6)*0.9,
+			})
+		}
+	}
+	return objs
+}
+
+// jiggleGroups applies one tick of churn in place: `count` groups, rotating
+// through the group list so every group eventually moves, each member
+// drifting by a sub-eps random walk.
+func jiggleGroups(objs []model.ObjPos, rng *rand.Rand, next, count int) int {
+	for c := 0; c < count; c++ {
+		g := next % benchGroups
+		next++
+		for m := 0; m < benchPerGroup; m++ {
+			i := g*benchPerGroup + m
+			objs[i].X += (rng.Float64() - 0.5) * 0.2
+			objs[i].Y += (rng.Float64() - 0.5) * 0.2
+		}
+	}
+	return next
+}
+
+func churnCounts(churnPct int) int {
+	n := benchGroups * churnPct / 100
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// BenchmarkIncrementalStep measures one delta-fed clustering tick at each
+// churn fraction. The mutation between ticks happens outside the timer, so
+// ns/op is purely Step: diff, grid patch, dirty re-queries, replay.
+func BenchmarkIncrementalStep(b *testing.B) {
+	for _, churn := range []int{1, 10, 50, 100} {
+		b.Run(fmt.Sprintf("churn=%d", churn), func(b *testing.B) {
+			objs := benchWorld()
+			rng := rand.New(rand.NewSource(7))
+			count := churnCounts(churn)
+			inc, err := NewIncremental(benchEps, benchMinPts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inc.Step(objs) // pay the initial rebuild outside the loop
+			next := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				next = jiggleGroups(objs, rng, next, count)
+				b.StartTimer()
+				inc.Step(objs)
+			}
+			if st := inc.Stats(); st.Fallbacks != 0 || st.Rebuilds != 1 {
+				b.Fatalf("benchmark fell out of the incremental path: %+v", st)
+			}
+		})
+	}
+}
+
+// BenchmarkScratchStep is the before picture: the same worlds clustered
+// from scratch each tick, exactly what StreamMiner.Observe did before the
+// incremental engine.
+func BenchmarkScratchStep(b *testing.B) {
+	for _, churn := range []int{1, 10, 50, 100} {
+		b.Run(fmt.Sprintf("churn=%d", churn), func(b *testing.B) {
+			objs := benchWorld()
+			rng := rand.New(rand.NewSource(7))
+			count := churnCounts(churn)
+			next := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				next = jiggleGroups(objs, rng, next, count)
+				b.StartTimer()
+				Cluster(objs, benchEps, benchMinPts)
+			}
+		})
+	}
+}

@@ -1,0 +1,132 @@
+package dbscan
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// FuzzIncrementalDBSCAN drives one Incremental through a random *sequence*
+// of snapshots — moves (including sub-eps jiggles), appearances, removals,
+// no-op ticks, input-order permutations, duplicate OIDs and coincident
+// coordinates — and after every tick requires the output to be
+// reflect.DeepEqual to a from-scratch Cluster call on the same snapshot.
+// Where FuzzDBSCANCluster checks one snapshot against DBSCAN's definition,
+// this target checks the *delta machinery*: any stale cached
+// neighbourhood, missed dirty point, mis-patched grid entry or slot-
+// recycling bug surfaces as a byte diff against the scratch oracle.
+//
+// Input encoding: byte 0 → minPts ∈ [1,6], byte 1 → eps ∈ {0.5,…,4.0},
+// then an op stream over a world of ≤ 24 objects (oid = op mod 24):
+//
+//   - op < 0x50: upsert oid at (x, y) from the next two bytes as signed
+//     integers — coarse placement, coincidences common;
+//   - op < 0xA0: upsert oid at (x/16, y/16) — sub-eps jiggles;
+//   - op < 0xD0: remove oid;
+//   - else: tick boundary — cluster the current world and compare. The op
+//     also picks an input-order variant (as inserted, reversed, rotated, or
+//     with a duplicated first entry to force the scratch fallback and
+//     rebuild), so cluster ordering and border ties track input order.
+//
+// The world persists across ticks, so consecutive snapshots differ by
+// exactly the ops between two boundaries: genuine deltas, the regime the
+// engine carries state through. A final implicit boundary flushes the tail.
+func FuzzIncrementalDBSCAN(f *testing.F) {
+	f.Add([]byte{})
+	// Two triads drifting apart over three ticks.
+	f.Add([]byte{2, 2,
+		0, 0, 0, 1, 1, 0, 2, 0, 1, 10, 100, 100, 11, 101, 100, 0xE0,
+		0, 2, 0, 1, 3, 0, 0xE1,
+		10, 50, 50, 0xE2,
+	})
+	// Churn: appear, remove, reappear coincident.
+	f.Add([]byte{3, 1, 5, 10, 10, 6, 10, 10, 7, 11, 10, 0xE0, 0xA5, 0xE1, 5, 10, 10, 0xE3, 0xE4})
+	// Sub-eps jiggle stream.
+	f.Add([]byte{2, 1, 0, 16, 16, 1, 17, 16, 0xE0, 0x50, 18, 16, 0xE1, 0x51, 17, 17, 0xE2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		minPts := 1 + int(data[0]%6)
+		eps := 0.5 + float64(data[1]%8)*0.5
+		inc, err := NewIncremental(eps, minPts)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const maxObj = 24
+		const maxTicks = 48
+		order := []int32{} // insertion order of live OIDs
+		world := map[int32]model.ObjPos{}
+		ticks := 0
+
+		snapshot := func(variant byte) []model.ObjPos {
+			objs := make([]model.ObjPos, 0, len(order)+1)
+			for _, oid := range order {
+				objs = append(objs, world[oid])
+			}
+			switch variant % 5 {
+			case 1: // reversed
+				for i, j := 0, len(objs)-1; i < j; i, j = i+1, j-1 {
+					objs[i], objs[j] = objs[j], objs[i]
+				}
+			case 2: // rotated by one
+				if len(objs) > 1 {
+					objs = append(objs[1:], objs[0])
+				}
+			case 3: // duplicate first entry at a shifted position
+				if len(objs) > 0 {
+					d := objs[0]
+					d.X++
+					objs = append(objs, d)
+				}
+			}
+			return objs
+		}
+		step := func(variant byte) {
+			objs := snapshot(variant)
+			got := inc.Step(objs)
+			want := Cluster(objs, eps, minPts)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("tick %d (variant %d, %d objs): incremental %v != scratch %v",
+					ticks, variant%5, len(objs), got, want)
+			}
+			ticks++
+		}
+
+		for i := 2; i < len(data) && ticks < maxTicks; i++ {
+			op := data[i]
+			oid := int32(op % maxObj)
+			switch {
+			case op < 0xA0 && i+2 < len(data):
+				x, y := float64(int8(data[i+1])), float64(int8(data[i+2]))
+				if op >= 0x50 {
+					x, y = x/16, y/16
+				}
+				if _, ok := world[oid]; !ok {
+					order = append(order, oid)
+				}
+				world[oid] = model.ObjPos{OID: oid, X: x, Y: y}
+				i += 2
+			case op < 0xA0:
+				i = len(data) // truncated upsert: stop
+			case op < 0xD0:
+				if _, ok := world[oid]; ok {
+					delete(world, oid)
+					for k, o := range order {
+						if o == oid {
+							order = append(order[:k], order[k+1:]...)
+							break
+						}
+					}
+				}
+			default:
+				step(op)
+			}
+		}
+		if ticks < maxTicks {
+			step(0) // flush the tail
+		}
+	})
+}

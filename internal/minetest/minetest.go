@@ -111,6 +111,63 @@ func Random(seed int64, nObj, nTicks int) *model.Dataset {
 	return model.NewDataset(pts)
 }
 
+// RandomChurn is Random with presence churn: objects join and leave the
+// feed mid-stream (each flips in/out with 10% probability per tick), groups
+// drift, members defect — the adversarial regime for delta-fed clustering,
+// where every tick mixes moved, appeared and disappeared objects.
+// Deterministic in seed.
+func RandomChurn(seed int64, nObj, nTicks int) *model.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	nGroups := nObj/4 + 1
+	group := make([]int, nObj) // group of each object; -1 = solo
+	present := make([]bool, nObj)
+	for o := range group {
+		if rng.Float64() < 0.3 {
+			group[o] = -1
+		} else {
+			group[o] = rng.Intn(nGroups)
+		}
+		present[o] = rng.Float64() < 0.8
+	}
+	groupX := make([]float64, nGroups)
+	for g := range groupX {
+		groupX[g] = float64(g) * 1000
+	}
+	var pts []model.Point
+	for t := 0; t < nTicks; t++ {
+		for g := range groupX {
+			groupX[g] += rng.Float64() * 3
+		}
+		for o := 0; o < nObj; o++ {
+			if rng.Float64() < 0.1 {
+				present[o] = !present[o] // join or leave the feed
+			}
+			if !present[o] {
+				continue
+			}
+			var x float64
+			switch {
+			case group[o] >= 0 && rng.Float64() < 0.9:
+				slot := 0
+				for q := 0; q < o; q++ {
+					if group[q] == group[o] {
+						slot++
+					}
+				}
+				x = groupX[group[o]] + float64(slot)*Spacing
+			default:
+				x = rng.Float64() * float64(nGroups) * 1000
+			}
+			pts = append(pts, model.Point{OID: int32(o), T: int32(t), X: x, Y: 0})
+		}
+		if rng.Float64() < 0.2 {
+			o := rng.Intn(nObj)
+			group[o] = rng.Intn(nGroups+1) - 1
+		}
+	}
+	return model.NewDataset(pts)
+}
+
 // IsConvoy verifies Definition 3 directly: at every tick of the interval
 // the convoy's objects are inside a single (m,eps)-cluster of the full
 // snapshot.

@@ -1,7 +1,9 @@
 package convoy
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 
 	"repro/internal/cmc"
 	"repro/internal/dbscan"
@@ -22,15 +24,21 @@ import (
 //
 // A StreamMiner is not safe for concurrent use; the convoyd server gives
 // each feed a single owning shard actor for exactly this reason. That
-// single-owner rule is also what lets the underlying sweep engine keep
-// per-miner dense-set buffers (cmc.Miner interns each tick's objects and
-// runs its intersections word-parallel; see docs/ARCHITECTURE.md "Set
-// representation"): a long-lived feed reaches a steady state where
-// ingesting a tick allocates only for the convoys it actually closes.
+// single-owner rule is also what lets the miner keep stateful hot-path
+// engines: the sweep engine's per-miner dense-set buffers (cmc.Miner
+// interns each tick's objects and runs its intersections word-parallel)
+// and the incremental clustering engine (dbscan.Incremental carries the
+// grid index and every object's eps-neighbourhood across ticks, so a tick
+// re-clusters only the neighbourhoods its deltas touched; see
+// docs/ARCHITECTURE.md "Incremental clustering"). A long-lived feed
+// reaches a steady state where ingesting a tick costs work proportional
+// to how much actually changed.
 type StreamMiner struct {
 	params Params
 	miner  *cmc.Miner
+	inc    *dbscan.Incremental
 	seen   map[string]bool
+	dupChk map[int32]struct{} // reused per Observe for duplicate-OID detection
 }
 
 // NewStreamMiner creates a streaming miner for the given parameters.
@@ -38,10 +46,16 @@ func NewStreamMiner(p Params) (*StreamMiner, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
+	inc, err := dbscan.NewIncremental(p.Eps, p.M)
+	if err != nil {
+		return nil, err
+	}
 	return &StreamMiner{
 		params: p,
 		miner:  cmc.NewMiner(p.M, p.K),
+		inc:    inc,
 		seen:   map[string]bool{},
+		dupChk: map[int32]struct{}{},
 	}, nil
 }
 
@@ -50,12 +64,46 @@ func NewStreamMiner(p Params) (*StreamMiner, error) {
 // rejected with an error and leaves the miner untouched. The order may have
 // gaps: a gap closes all open convoys (objects cannot be "together" at a
 // missing tick), so mining restarts fresh at t.
+//
+// A snapshot containing the same OID more than once is canonicalized
+// exactly as model.NewDataset canonicalizes a tick — stable-sorted by OID,
+// keeping the last occurrence of each duplicate — so streaming a feed with
+// duplicate fixes yields byte-identical convoys to batch-mining the same
+// records. Duplicate-free snapshots pass through untouched, in their given
+// order. The input slice is never modified.
 func (s *StreamMiner) Observe(t int32, positions []ObjPos) error {
 	if last, ok := s.miner.Last(); ok && t <= last {
 		return fmt.Errorf("convoy: non-monotonic stream: observed t=%d after t=%d", t, last)
 	}
-	s.miner.Step(t, dbscan.Cluster(positions, s.params.Eps, s.params.M))
+	s.miner.Step(t, s.inc.Step(s.resolveDuplicates(positions)))
 	return nil
+}
+
+// resolveDuplicates applies the duplicate-OID rule documented on Observe.
+// The common duplicate-free case is one map pass and no allocation.
+func (s *StreamMiner) resolveDuplicates(positions []ObjPos) []ObjPos {
+	clear(s.dupChk)
+	dup := false
+	for _, p := range positions {
+		if _, ok := s.dupChk[p.OID]; ok {
+			dup = true
+			break
+		}
+		s.dupChk[p.OID] = struct{}{}
+	}
+	if !dup {
+		return positions
+	}
+	canon := slices.Clone(positions)
+	slices.SortStableFunc(canon, func(a, b ObjPos) int { return cmp.Compare(a.OID, b.OID) })
+	out := canon[:0]
+	for j := 0; j < len(canon); j++ {
+		if j+1 < len(canon) && canon[j+1].OID == canon[j].OID {
+			continue
+		}
+		out = append(out, canon[j])
+	}
+	return out
 }
 
 // Last returns the most recently observed timestamp; ok is false before the
@@ -95,9 +143,12 @@ func (s *StreamMiner) Flush() []Convoy {
 }
 
 // Reset returns the miner to its initial state, discarding all open
-// candidates, closed convoys and timestamp history while keeping the
-// parameters. After a Reset the miner accepts any timestamp again.
+// candidates, closed convoys, timestamp history and the incremental
+// clustering state (its memory included — an evicted feed must not pin its
+// neighbourhood cache) while keeping the parameters. After a Reset the
+// miner accepts any timestamp again.
 func (s *StreamMiner) Reset() {
 	s.miner.Reset()
+	s.inc.Reset()
 	s.seen = map[string]bool{}
 }

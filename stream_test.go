@@ -141,6 +141,92 @@ func TestStreamMinerGapReportsWithoutFlush(t *testing.T) {
 	}
 }
 
+// TestStreamMinerDuplicateOIDsMatchBatch pins the resolution rule for
+// duplicate object IDs within one tick's snapshot at the Observe boundary:
+// duplicates resolve exactly as model.NewDataset resolves them (stable sort
+// by OID, last occurrence wins), so streaming raw records with duplicate
+// fixes is byte-identical to batch-mining the same records. Before the rule
+// was enforced, Observe clustered both fixes as two distinct points — an
+// unasserted divergence from the batch path.
+func TestStreamMinerDuplicateOIDsMatchBatch(t *testing.T) {
+	p := Params{M: 2, K: 2, Eps: minetest.Eps}
+	// Object 1 reports twice per tick: a stale fix near object 3 (which
+	// would form a spurious pair) and a final fix near object 2. Last wins,
+	// so the convoy must be {1,2}.
+	var pts []model.Point
+	for tt := int32(0); tt < 4; tt++ {
+		pts = append(pts,
+			model.Point{OID: 1, T: tt, X: 100},   // stale fix, near object 3
+			model.Point{OID: 2, T: tt, X: 0.5},   //
+			model.Point{OID: 1, T: tt, X: 0},     // final fix, near object 2
+			model.Point{OID: 3, T: tt, X: 101.0}, //
+		)
+	}
+	ds := model.NewDataset(pts)
+
+	sm, err := NewStreamMiner(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := int32(0); tt < 4; tt++ {
+		// Feed the raw per-tick records, duplicates included, in arrival
+		// order — not the canonicalized Snapshot.
+		raw := []ObjPos{
+			{OID: 1, X: 100}, {OID: 2, X: 0.5}, {OID: 1, X: 0}, {OID: 3, X: 101.0},
+		}
+		if err := sm.Observe(tt, raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := sm.Flush()
+	want, err := MineDataset(ds, p, &Options{Algorithm: PCCD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.ConvoysEqual(got, want.Convoys) {
+		t.Fatalf("stream with dup OIDs %v != batch %v", got, want.Convoys)
+	}
+	if len(got) != 1 || !got[0].Objs.Equal(NewObjSet(1, 2)) {
+		t.Fatalf("last fix should win: %v", got)
+	}
+}
+
+// Randomized version of the duplicate rule: inject duplicate fixes into
+// random streams and require stream == batch on the deduped dataset.
+func TestStreamMinerDuplicateOIDsRandom(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		ds := minetest.Random(seed, 10, 12)
+		p := Params{M: 3, K: 4, Eps: minetest.Eps}
+		sm, err := NewStreamMiner(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, te := ds.TimeRange()
+		for tt := ts; tt <= te; tt++ {
+			snap := ds.Snapshot(tt)
+			raw := make([]ObjPos, 0, len(snap)+2)
+			// A stale fix for two objects arrives first; the canonical
+			// position (the snapshot's) arrives later and must win.
+			if len(snap) >= 2 {
+				raw = append(raw, ObjPos{OID: snap[0].OID, X: snap[0].X + 500, Y: 7})
+				raw = append(raw, ObjPos{OID: snap[1].OID, X: snap[1].X - 300, Y: -7})
+			}
+			raw = append(raw, snap...)
+			if err := sm.Observe(tt, raw); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := sm.Flush()
+		want, err := MineDataset(ds, p, &Options{Algorithm: PCCD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !model.ConvoysEqual(got, want.Convoys) {
+			t.Fatalf("seed %d: stream with dup fixes %v != batch %v", seed, got, want.Convoys)
+		}
+	}
+}
+
 func TestStreamMinerReset(t *testing.T) {
 	sm, err := NewStreamMiner(Params{M: 2, K: 2, Eps: minetest.Eps})
 	if err != nil {
@@ -152,6 +238,7 @@ func TestStreamMinerReset(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	rebuildsBefore := sm.inc.Stats().Rebuilds
 	sm.Reset()
 	if _, ok := sm.Last(); ok {
 		t.Fatal("Last() valid after Reset")
@@ -167,5 +254,11 @@ func TestStreamMinerReset(t *testing.T) {
 	want := []Convoy{model.NewConvoy(NewObjSet(1, 2), 0, 2)}
 	if !model.ConvoysEqual(got, want) {
 		t.Fatalf("after reset got %v, want %v", got, want)
+	}
+	// Reset must also tear down the incremental clustering state: the first
+	// post-Reset Observe rebuilds it from scratch instead of diffing against
+	// the pre-Reset world.
+	if rebuilds := sm.inc.Stats().Rebuilds; rebuilds != rebuildsBefore+1 {
+		t.Fatalf("incremental state survived Reset: %d rebuilds, want %d", rebuilds, rebuildsBefore+1)
 	}
 }
