@@ -24,7 +24,10 @@
 // LSM-backed archive (backfilled from the log at startup, populated
 // asynchronously while serving), and the /v1/query endpoints answer
 // time-interval, object-membership and size/duration lookups over the full
-// history with cursor pagination:
+// history with cursor pagination. -retention N bounds that history: at
+// every archive flush tick, convoys whose End lags the newest archived
+// End by N ticks or more are expired from the archive (never from the
+// log); POST /v1/admin/retention expires on demand at an absolute tick.
 //
 //	curl -s -X POST localhost:8080/v1/feeds/osaka/snapshots -d '{
 //	  "snapshots": [{"t": 0, "positions": [{"oid": 1, "x": 0, "y": 0}]}]}'
@@ -39,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
@@ -68,6 +72,7 @@ func main() {
 		compactLog   = flag.Bool("compact-log", false, "compact the persist log before serving (drops duplicate records left by post-eviction replays)")
 		archiveDir   = flag.String("archive-dir", "", "historical query archive directory (empty = /v1/query disabled); requires -persist, backfilled from the log at startup")
 		archiveCache = flag.Int("archive-cache", 0, "archive index write-buffer budget in bytes (0 = default 12 MiB)")
+		retention    = flag.Int("retention", 0, "expire archived convoys whose End tick lags the newest archived End by this many ticks or more (0 = keep everything); requires -archive-dir")
 		queryBudget  = flag.Int("query-budget", 0, "index entries one /v1/query page may examine before returning a cursor (0 = default 65536)")
 		maxFeeds     = flag.Int("max-feeds", 0, "cap on live feeds; creating more answers 429 (0 = default 65536)")
 	)
@@ -75,6 +80,14 @@ func main() {
 
 	if *archiveDir != "" && *persist == "" {
 		fmt.Fprintln(os.Stderr, "convoyd: -archive-dir requires -persist (the log is the archive's source of truth)")
+		os.Exit(1)
+	}
+	if *retention < 0 || int64(*retention) > math.MaxInt32 {
+		fmt.Fprintf(os.Stderr, "convoyd: -retention %d out of range [0, %d]\n", *retention, math.MaxInt32)
+		os.Exit(1)
+	}
+	if *retention > 0 && *archiveDir == "" {
+		fmt.Fprintln(os.Stderr, "convoyd: -retention requires -archive-dir (retention expires archived convoys)")
 		os.Exit(1)
 	}
 
@@ -112,6 +125,7 @@ func main() {
 		KeepHistory:  *keepHistory,
 		ArchiveDir:   *archiveDir,
 		ArchiveCache: *archiveCache,
+		Retention:    int32(*retention),
 		QueryBudget:  *queryBudget,
 		MaxFeeds:     *maxFeeds,
 	})

@@ -79,6 +79,7 @@ func (s *Server) routes() []route {
 		{"GET /v1/query/time", s.handleQueryTime},
 		{"GET /v1/query/object", s.handleQueryObject},
 		{"GET /v1/query/convoys", s.handleQueryConvoys},
+		{"POST /v1/admin/retention", s.handleRetention},
 		{"GET /v1/stats", s.handleStats},
 		{"GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 			w.Write([]byte("ok\n"))
@@ -103,6 +104,7 @@ func (s *Server) Routes() []string {
 //	GET  /v1/query/time               archived convoys overlapping [?from, ?to]
 //	GET  /v1/query/object             archived convoys containing ?oid
 //	GET  /v1/query/convoys            archived convoys by ?min_size / ?min_dur
+//	POST /v1/admin/retention          expire archived convoys ending before a tick
 //	GET  /v1/stats                    shard queues + per-feed counters + archive
 //	GET  /healthz                     liveness
 //

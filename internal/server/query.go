@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"net/http"
@@ -166,6 +167,61 @@ func (s *Server) handleQueryConvoys(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queryArchive(w, func() (archive.Result, error) { return s.arch.QueryConvoys(q) })
+}
+
+// retentionRequest is the POST /v1/admin/retention body. Before is a
+// pointer so "absent" and "tick 0" are distinguishable.
+type retentionRequest struct {
+	Before *int32 `json:"before"`
+}
+
+// retentionResponse reports what the expiry did: the number of convoys
+// removed and the watermark now in force (which can exceed the requested
+// tick when a previous call set a higher one — the watermark is
+// monotonic).
+type retentionResponse struct {
+	Expired int64 `json:"expired"`
+	Before  int32 `json:"before"`
+}
+
+// maxRetentionBody bounds the admin request body.
+const maxRetentionBody = 1 << 16
+
+// handleRetention serves POST /v1/admin/retention: expire archived
+// convoys whose End tick precedes the requested one. The expiry runs
+// synchronously under the archive's write lock (AddBatch from the
+// archiver loop simply waits; retention never reorders its appends), and
+// a failure latches the archive broken exactly like a write error —
+// a half-applied expiry must not keep accepting records it might
+// resurrect. The convoy log is never touched: a rebuild from the full
+// log re-drops everything below the durable watermark.
+func (s *Server) handleRetention(w http.ResponseWriter, r *http.Request) {
+	if s.arch == nil {
+		writeError(w, http.StatusNotImplemented,
+			"retention needs an archive; start convoyd with -archive-dir")
+		return
+	}
+	if s.archBroken.Load() {
+		writeError(w, http.StatusInternalServerError, "archive disabled by an earlier write error")
+		return
+	}
+	var req retentionRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRetentionBody)).Decode(&req); err != nil || req.Before == nil {
+		writeError(w, http.StatusBadRequest, `body must be {"before": <tick>}`)
+		return
+	}
+	expired, err := s.arch.Expire(*req.Before)
+	if err != nil {
+		s.archBroken.Store(true)
+		writeError(w, http.StatusInternalServerError, "retention: "+err.Error())
+		return
+	}
+	st := s.arch.Stats()
+	resp := retentionResponse{Expired: expired, Before: *req.Before}
+	if st.ExpiredBefore != nil {
+		resp.Before = *st.ExpiredBefore
+	}
+	writeJSON(w, resp)
 }
 
 // ArchiveInfo reports what the startup backfill did: the number of log

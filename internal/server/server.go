@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime/metrics"
 	"sort"
 	"sync"
@@ -128,6 +129,14 @@ type Config struct {
 	// It bounds the cost of a page whose filter rejects almost every
 	// entry.
 	QueryBudget int
+	// Retention, when positive, bounds the archive's history: at every
+	// archive flush tick, convoys whose End tick has fallen more than
+	// Retention ticks behind the newest archived End are expired
+	// (archive.Expire keeps End >= maxEnd−Retention+1). Expired convoys
+	// leave the archive but never the convoy log. Requires ArchiveDir;
+	// 0 keeps everything. POST /v1/admin/retention expires on demand
+	// with an absolute tick, independent of this setting.
+	Retention int32
 
 	// testHook, when set (same-package tests only), runs at the start of
 	// every shard-actor message; tests use it to stall a shard and exercise
@@ -222,6 +231,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.ArchiveDir != "" && cfg.PersistPath == "" {
 		return nil, errors.New("server: ArchiveDir requires PersistPath (the log is the archive's source of truth)")
+	}
+	if cfg.Retention < 0 {
+		return nil, errors.New("server: Retention must be >= 0")
+	}
+	if cfg.Retention > 0 && cfg.ArchiveDir == "" {
+		return nil, errors.New("server: Retention requires ArchiveDir (retention expires archived convoys)")
 	}
 	s := &Server{
 		cfg:      cfg,
@@ -433,13 +448,38 @@ func (s *Server) archiveLoop() {
 				s.archBroken.Store(true)
 			}
 		case <-ticker.C:
-			if !s.archBroken.Load() {
-				if err := s.arch.Flush(); err != nil {
-					s.archBroken.Store(true)
+			if s.archBroken.Load() {
+				continue
+			}
+			if err := s.arch.Flush(); err != nil {
+				s.archBroken.Store(true)
+				continue
+			}
+			if s.cfg.Retention > 0 {
+				if before, ok := retentionFloor(s.arch, s.cfg.Retention); ok {
+					if _, err := s.arch.Expire(before); err != nil {
+						s.archBroken.Store(true)
+					}
 				}
 			}
 		}
 	}
+}
+
+// retentionFloor computes the absolute watermark for a relative retention
+// of keep ticks: convoys with End >= maxEnd−keep+1 stay. ok is false when
+// the archive has never held a record (nothing anchors the window) or the
+// window still reaches the beginning of time.
+func retentionFloor(a *archive.Archive, keep int32) (int32, bool) {
+	maxEnd, ok := a.MaxEnd()
+	if !ok {
+		return 0, false
+	}
+	floor := int64(maxEnd) - int64(keep) + 1
+	if floor <= math.MinInt32 {
+		return 0, false
+	}
+	return int32(floor), true
 }
 
 // archiveFlushEvery is the cadence at which the archive's index watermark

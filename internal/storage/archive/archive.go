@@ -49,6 +49,19 @@
 // matches the checksum and fails with ErrDiverged; OpenAndBackfill then
 // deletes the archive and rebuilds it from the log, which is always the
 // source of truth.
+//
+// # Retention
+//
+// Expire(before) removes every archived convoy whose End tick precedes
+// before, coherently across the records file and all three indexes (see
+// retention.go for the crash protocol). The expiry watermark is durable in
+// META: once a convoy is expired, AddBatch and Backfill silently skip any
+// record below the watermark, so a backfill from the full log does not
+// resurrect expired history and does not count as divergence. Sequence
+// numbers are never reused and survivors keep theirs, so query cursors
+// stay valid across an expiry. The one degraded case: if META is deleted
+// along with the indexes, the watermark is lost and a rebuild from the log
+// resurrects expired records — the next retention cycle re-expires them.
 package archive
 
 import (
@@ -96,10 +109,32 @@ const (
 // only after the records it covers are fsynced) and replays just the
 // records past it, so startup cost is proportional to the un-flushed
 // tail, not the archive's lifetime history.
+//
+// NextSeq, ExpiredBefore and MaxEnd arrived with retention; metaDefaults
+// seeds their sentinels so a META written before them keeps the legacy
+// semantics (NextSeq == Records, nothing expired). Records past Offset
+// were assigned sequence numbers starting at NextSeq — after an expiry
+// record position and sequence number diverge, so replay cannot derive
+// the tail's sequences from Records alone.
 type meta struct {
 	Records int64  `json:"records"`
 	Offset  int64  `json:"offset"`
 	CRC     uint32 `json:"crc"`
+	NextSeq int64  `json:"next_seq"`
+	// ExpiredBefore is the retention watermark: every record with
+	// End < ExpiredBefore has been (or is being) expired. MinInt32 means
+	// nothing was ever expired.
+	ExpiredBefore int32 `json:"expired_before"`
+	// MaxEnd is the largest End tick ever archived, kept durable so
+	// relative retention ("keep the last N ticks") survives an expiry of
+	// the very records that defined it.
+	MaxEnd int32 `json:"max_end"`
+}
+
+// metaDefaults is the zero checkpoint with the sentinel values a legacy
+// META (predating retention) must decode to.
+func metaDefaults() meta {
+	return meta{NextSeq: -1, ExpiredBefore: math.MinInt32, MaxEnd: math.MinInt32}
 }
 
 // Archive is an LSM-indexed store of closed convoys. Writes (AddBatch,
@@ -112,14 +147,23 @@ type Archive struct {
 	mu       sync.RWMutex
 	recs     *storage.ConvoyLog
 	recsRead *os.File // positioned-read handle for query materialisation
-	count    int64    // records archived (== non-marker convoys)
+	live     int64    // records currently in the records file
+	nextSeq  int64    // next sequence number to assign; never reused
 	synced   int64    // durable byte size of the records file
-	crc      uint32   // IEEE CRC over every record's encoded bytes, in order
+	crc      uint32   // IEEE CRC over the file's records' encoded bytes, in order
 	flushed  int64    // records covered by META (durably indexed)
 	timeIdx  *lsm.DB
 	objIdx   *lsm.DB
 	sizeIdx  *lsm.DB
 	closed   bool
+
+	// Retention state (see retention.go). expiredBefore is the durable
+	// watermark: records with End below it are expired and new arrivals
+	// below it are silently dropped. maxEnd is the largest End ever
+	// archived; expiredTotal counts records expired by this process.
+	expiredBefore int32
+	maxEnd        int32
+	expiredTotal  int64
 
 	// Query-side counters, exposed via Stats.
 	queries        atomic.Int64
@@ -142,12 +186,16 @@ func Open(dir string, opts *Options) (*Archive, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("archive: mkdir: %w", err)
 	}
-	var m meta
+	m := metaDefaults()
 	if data, err := os.ReadFile(filepath.Join(dir, metaName)); err == nil {
 		if err := json.Unmarshal(data, &m); err != nil {
-			m = meta{} // unreadable watermark: re-index everything
+			m = metaDefaults() // unreadable watermark: re-index everything
 		}
 	}
+	if m.NextSeq < m.Records {
+		m.NextSeq = m.Records // legacy META: sequence numbers were positions
+	}
+	a.expiredBefore, a.maxEnd, a.nextSeq = m.ExpiredBefore, m.MaxEnd, m.NextSeq
 	if err := a.openIndexes(); err != nil {
 		return nil, err
 	}
@@ -182,7 +230,25 @@ func Open(dir string, opts *Options) (*Archive, error) {
 		a.closeIndexes()
 		return nil, fmt.Errorf("archive: open read handle: %w", err)
 	}
-	a.flushed = min(m.Records, a.count)
+	a.flushed = min(m.Records, a.live)
+	// A watermark higher than the oldest live record means a crash
+	// interrupted an Expire before its records-file rewrite committed (a
+	// crash after the rewrite lands in reindexAll above, with the expired
+	// records already gone). Finish the job now; applyExpireLocked is a
+	// cheap no-op when nothing is pending.
+	if a.expiredBefore > math.MinInt32 {
+		if _, err := a.applyExpireLocked(); err != nil {
+			a.closed = true
+			a.closeIndexes()
+			if a.recs != nil {
+				a.recs.Close()
+			}
+			if a.recsRead != nil {
+				a.recsRead.Close()
+			}
+			return nil, fmt.Errorf("archive: complete interrupted expiry: %w", err)
+		}
+	}
 	return a, nil
 }
 
@@ -231,19 +297,31 @@ func (a *Archive) replayRecords(path string, m meta) (int64, error) {
 		return 0, err
 	}
 	if m.Records < 0 || m.Offset < 0 || st.Size() < m.Offset {
+		// Also the landing spot for a crash after an Expire's records-file
+		// rewrite committed: the rewritten file is strictly shorter than
+		// the old META.Offset, so the half-updated indexes are rebuilt
+		// from the survivors (the watermark itself came from META and is
+		// preserved).
 		return a.reindexAll(path)
 	}
-	a.count, a.crc = m.Records, m.CRC
-	end, err := a.scanAndIndex(path, m.Offset, m.Records)
+	a.live, a.crc = m.Records, m.CRC
+	maxEnd := a.maxEnd
+	end, err := a.scanAndIndex(path, m.Offset, m.NextSeq)
 	if err != nil {
-		// The checkpoint did not land on a record boundary: start over.
+		// The checkpoint did not land on a record boundary: start over
+		// (dropping whatever a partial, possibly garbage tail scan did to
+		// the End high-water mark).
+		a.maxEnd = maxEnd
 		return a.reindexAll(path)
 	}
 	return end, nil
 }
 
 // reindexAll rebuilds the three indexes from a clean slate by scanning
-// the whole records file.
+// the whole records file. Sequence numbers restart from 0 (query cursors
+// issued before the rebuild may skip or repeat, as after any rebuild),
+// but nextSeq never moves backwards, so no stale flushed index entry can
+// alias a live sequence number.
 func (a *Archive) reindexAll(path string) (int64, error) {
 	a.closeIndexes()
 	for _, sub := range []string{"time", "obj", "size"} {
@@ -254,13 +332,13 @@ func (a *Archive) reindexAll(path string) (int64, error) {
 	if err := a.openIndexes(); err != nil {
 		return 0, err
 	}
-	a.count, a.crc = 0, 0
+	a.live, a.crc = 0, 0
 	return a.scanAndIndex(path, 0, 0)
 }
 
-// scanAndIndex scans records from the given boundary (record number seq at
-// byte offset from), indexing and checksumming each, and leaves count/crc
-// covering everything scanned. Returns the end boundary.
+// scanAndIndex scans records from the given boundary (sequence number seq
+// at byte offset from), indexing and checksumming each, and advances
+// live/crc/maxEnd over everything scanned. Returns the end boundary.
 func (a *Archive) scanAndIndex(path string, from, seq int64) (int64, error) {
 	end, err := storage.ScanConvoyLogFrom(path, from, func(off int64, rec storage.LoggedConvoy) error {
 		enc, err := storage.EncodeConvoyRecord(rec.Feed, rec.Convoy)
@@ -271,13 +349,19 @@ func (a *Archive) scanAndIndex(path string, from, seq int64) (int64, error) {
 		if err := a.indexRecord(seq, off, rec); err != nil {
 			return err
 		}
+		if rec.Convoy.End > a.maxEnd {
+			a.maxEnd = rec.Convoy.End
+		}
 		seq++
+		a.live++
 		return nil
 	})
 	if err != nil {
 		return 0, err
 	}
-	a.count = seq
+	if seq > a.nextSeq {
+		a.nextSeq = seq
+	}
 	return end, nil
 }
 
@@ -335,8 +419,14 @@ func (a *Archive) addBatchLocked(recs []storage.LoggedConvoy) error {
 		if storage.IsFlushMarker(rec.Convoy) {
 			continue
 		}
-		if a.count+int64(len(batch)) > maxSeq {
-			return fmt.Errorf("archive: full (%d records)", a.count)
+		if rec.Convoy.End < a.expiredBefore {
+			// Already past the retention watermark: dropped exactly as an
+			// Expire would have, so a replay of old log records cannot
+			// resurrect expired history.
+			continue
+		}
+		if a.nextSeq+int64(len(batch)) > maxSeq {
+			return fmt.Errorf("archive: full (%d records)", a.nextSeq)
 		}
 		enc, err := storage.EncodeConvoyRecord(rec.Feed, rec.Convoy)
 		if err != nil {
@@ -347,6 +437,9 @@ func (a *Archive) addBatchLocked(recs []storage.LoggedConvoy) error {
 			return err
 		}
 		a.crc = crc32.Update(a.crc, crc32.IEEETable, enc)
+		if rec.Convoy.End > a.maxEnd {
+			a.maxEnd = rec.Convoy.End
+		}
 	}
 	if len(batch) == 0 {
 		return nil
@@ -356,11 +449,12 @@ func (a *Archive) addBatchLocked(recs []storage.LoggedConvoy) error {
 	}
 	a.synced = a.recs.Offset()
 	for i, s := range batch {
-		if err := a.indexRecord(a.count+int64(i), s.off, s.rec); err != nil {
+		if err := a.indexRecord(a.nextSeq+int64(i), s.off, s.rec); err != nil {
 			return err
 		}
 	}
-	a.count += int64(len(batch))
+	a.nextSeq += int64(len(batch))
+	a.live += int64(len(batch))
 	return nil
 }
 
@@ -377,13 +471,13 @@ func (a *Archive) Backfill(logPath string) (int64, error) {
 	// A missing log — or one so short its 8-byte header never reached the
 	// disk (a freshly created, not-yet-synced sink) — holds no records.
 	if st, err := os.Stat(logPath); errors.Is(err, os.ErrNotExist) || (err == nil && st.Size() < 8) {
-		if a.count > 0 {
-			return 0, fmt.Errorf("%w: log empty, archive holds %d records", ErrDiverged, a.count)
+		if a.live > 0 {
+			return 0, fmt.Errorf("%w: log empty, archive holds %d records", ErrDiverged, a.live)
 		}
 		return 0, nil
 	}
 	var (
-		pre     = a.count // records archived before this backfill
+		pre     = a.live // records archived before this backfill
 		preCRC  = a.crc
 		skipped int64
 		prefix  uint32
@@ -403,6 +497,13 @@ func (a *Archive) Backfill(logPath string) (int64, error) {
 	}
 	_, err := storage.ScanConvoyLogFrom(logPath, 0, func(off int64, rec storage.LoggedConvoy) error {
 		if storage.IsFlushMarker(rec.Convoy) {
+			return nil
+		}
+		if rec.Convoy.End < a.expiredBefore {
+			// Expired history: the archive dropped (or never accepted)
+			// this record, so it is part of neither the archived prefix
+			// nor the records to add. The log legitimately still holds it
+			// — retention filters the archive, never the log.
 			return nil
 		}
 		if skipped < pre {
@@ -474,7 +575,7 @@ func OpenAndBackfill(dir, logPath string, opts *Options) (*Archive, int64, bool,
 // alone; a rebuild must never be the thing that destroys unrelated files
 // under a user-supplied path.
 func removeArchiveFiles(dir string) error {
-	for _, name := range []string{recordsName, metaName, metaName + ".tmp", "time", "obj", "size"} {
+	for _, name := range []string{recordsName, recordsName + ".tmp", metaName, metaName + ".tmp", "time", "obj", "size"} {
 		if err := os.RemoveAll(filepath.Join(dir, name)); err != nil {
 			return err
 		}
@@ -504,18 +605,40 @@ func (a *Archive) flushLocked() error {
 			return err
 		}
 	}
-	data, err := json.Marshal(meta{Records: a.count, Offset: a.synced, CRC: a.crc})
+	data, err := json.Marshal(meta{
+		Records: a.live, Offset: a.synced, CRC: a.crc,
+		NextSeq: a.nextSeq, ExpiredBefore: a.expiredBefore, MaxEnd: a.maxEnd,
+	})
 	if err != nil {
 		return err
 	}
+	// fsync the temp file before the rename and the directory after it:
+	// without both, a power loss can leave the renamed META empty (or the
+	// rename itself unrecorded), and the checkpoint — including the
+	// retention watermark Expire just committed — silently vanishes.
 	tmp := filepath.Join(a.dir, metaName+".tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, filepath.Join(a.dir, metaName)); err != nil {
 		return err
 	}
-	a.flushed = a.count
+	if err := syncDir(a.dir); err != nil {
+		return err
+	}
+	a.flushed = a.live
 	return nil
 }
 
@@ -542,11 +665,21 @@ func (a *Archive) Close() error {
 	return firstErr
 }
 
-// Count returns the number of archived convoys.
+// Count returns the number of archived convoys currently live (expired
+// records no longer count).
 func (a *Archive) Count() int64 {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
-	return a.count
+	return a.live
+}
+
+// MaxEnd returns the largest End tick ever archived, or ok=false while
+// the archive has never held a record. It is the anchor for relative
+// retention ("expire everything older than the newest N ticks").
+func (a *Archive) MaxEnd() (int32, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.maxEnd, a.maxEnd != math.MinInt32
 }
 
 // Stats is a point-in-time snapshot of the archive's size and query
@@ -558,20 +691,31 @@ type Stats struct {
 	QueriesTotal   int64 `json:"queries_total"`
 	EntriesScanned int64 `json:"index_entries_scanned_total"`
 	RecordsRead    int64 `json:"records_read_total"`
+	// ExpiredTotal counts records removed by retention since this process
+	// opened the archive; ExpiredBefore is the durable watermark (absent
+	// until the first expiry — convoys with End below it are gone).
+	ExpiredTotal  int64  `json:"expired_total"`
+	ExpiredBefore *int32 `json:"expired_before,omitempty"`
 }
 
 // Stats returns the archive counters.
 func (a *Archive) Stats() Stats {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
-	return Stats{
-		Records:        a.count,
+	st := Stats{
+		Records:        a.live,
 		RecordsBytes:   a.synced,
 		IndexedDurable: a.flushed,
 		QueriesTotal:   a.queries.Load(),
 		EntriesScanned: a.entriesScanned.Load(),
 		RecordsRead:    a.recordsRead.Load(),
+		ExpiredTotal:   a.expiredTotal,
 	}
+	if a.expiredBefore != math.MinInt32 {
+		w := a.expiredBefore
+		st.ExpiredBefore = &w
+	}
+	return st
 }
 
 // --- locator codec ------------------------------------------------------

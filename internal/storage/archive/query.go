@@ -225,7 +225,7 @@ func (a *Archive) scan(idx lsmIndex, start [storage.KeySize]byte,
 			return false
 		}
 		res.Scanned++
-		if int64(seq) >= a.count {
+		if int64(seq) >= a.nextSeq {
 			// A stale entry from before a records-file truncation (only
 			// reachable when META was lost too): nothing to materialise.
 			// It still consumed budget above — a corrupted archive must
@@ -233,6 +233,14 @@ func (a *Archive) scan(idx lsmIndex, start [storage.KeySize]byte,
 			return true
 		}
 		off, size, dur := decodeLocator(v)
+		if off >= a.synced {
+			// An offset past the durable end of the records file: a stale
+			// entry whose record a retention rewrite (or a truncation)
+			// removed. Skipped here so a query racing nothing worse than
+			// a corrupted index never reads past the file, let alone
+			// returns a half-deleted convoy.
+			return true
+		}
 		loc := locator{off: off, size: size, dur: dur}
 		if int(size) < q.MinSize || int(dur) < q.MinDur {
 			return true

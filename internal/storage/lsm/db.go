@@ -4,15 +4,24 @@
 //
 // Writes go to a WAL and a skiplist memtable; when the memtable exceeds its
 // budget it is flushed to an immutable SSTable (sorted blocks + block index
-// + bloom filter). A size-tiered compactor folds tables together when too
-// many runs accumulate. Benchmark-point reads are range scans (all keys of
-// one timestamp are co-located, one positioning per run); HWMT reads are
-// bloom-guarded point gets.
+// + bloom filter). A background size-tiered compactor folds tables together
+// when too many runs accumulate, off the write path. Deletions are
+// tombstone records that shadow older runs until compaction reaches the
+// bottom level and garbage-collects them. Benchmark-point reads are range
+// scans (all keys of one timestamp are co-located, one positioning per
+// run); HWMT reads are bloom-guarded point gets.
+//
+// Crash model: the MANIFEST (which names the live tables and the active
+// WAL) is the sole commit point, written via fsynced tmp file + rename +
+// directory fsync. Flush creates the next WAL before committing, so a crash
+// on either side of the commit replays exactly one of {old WAL, new WAL} —
+// flushed records are never replayed twice. Files the manifest does not
+// reference are swept on Open.
 //
 // The engine serves two consumers. As a storage.Store (Put/Snapshot/Fetch)
 // it holds trajectory points for the miners, exactly the paper's role. As a
-// raw ordered key/value store (PutKV/Scan) it backs the secondary indexes
-// of the historical convoy archive (internal/storage/archive): any
+// raw ordered key/value store (PutKV/DeleteKV/Scan) it backs the secondary
+// indexes of the historical convoy archive (internal/storage/archive): any
 // fixed-width 8-byte key whose lexicographic order matches the caller's
 // logical order — the archive packs (time, seq), (oid, seq) and
 // (size, seq) pairs through storage.EncodeKey — maps to a 16-byte value,
@@ -26,7 +35,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 	"sync"
 
 	"repro/internal/model"
@@ -37,8 +45,9 @@ import (
 type Options struct {
 	// MemtableBytes is the flush threshold (default 4 MiB).
 	MemtableBytes int
-	// MaxTables is the run count that triggers a full compaction
-	// (default 6).
+	// MaxTables is the run count above which the background compactor
+	// merges runs (default 6). The floor is 1: "always compact back to a
+	// single run". Zero (or negative) selects the default.
 	MaxTables int
 	// SyncWAL forces an fsync per batch when true.
 	SyncWAL bool
@@ -50,7 +59,7 @@ func (o *Options) withDefaults() Options {
 		if o.MemtableBytes > 0 {
 			out.MemtableBytes = o.MemtableBytes
 		}
-		if o.MaxTables > 1 {
+		if o.MaxTables > 0 {
 			out.MaxTables = o.MaxTables
 		}
 		out.SyncWAL = o.SyncWAL
@@ -60,20 +69,38 @@ func (o *Options) withDefaults() Options {
 
 // DB is the LSM-tree database. It implements storage.Store.
 type DB struct {
-	mu     sync.Mutex
-	dir    string
-	opts   Options
-	wal    *wal
-	mem    *memtable
-	tables []*sstable // oldest first; later tables shadow earlier ones
-	seq    int
-	ts, te int32
-	count  uint64
-	stats  storage.IOStats
-	closed bool
+	mu      sync.Mutex
+	dir     string
+	opts    Options
+	wal     *wal
+	walName string
+	mem     *memtable
+	tables  []*sstable // oldest first; later tables shadow earlier ones
+	seq     int
+	ts, te  int32
+	count   uint64
+	stats   storage.IOStats
+	closed  bool
+
+	// compactMu serialises compactions (background loop and manual
+	// Compact); it is always acquired before db.mu, never inside it.
+	compactMu sync.Mutex
+	compact   compactState
 }
 
-const manifestName = "MANIFEST"
+// crashPoint, when non-nil, is called at named points between the durable
+// steps of flush, compaction and open; crash tests install a hook that
+// panics with errSimulatedCrash to model a process kill at that exact
+// point. Always nil in production.
+var crashPoint func(name string)
+
+var errSimulatedCrash = errors.New("lsm: simulated crash")
+
+func crash(name string) {
+	if crashPoint != nil {
+		crashPoint(name)
+	}
+}
 
 // Open opens (or creates) an LSM database in dir.
 func Open(dir string, opts *Options) (*DB, error) {
@@ -81,26 +108,28 @@ func Open(dir string, opts *Options) (*DB, error) {
 		return nil, fmt.Errorf("lsm: mkdir: %w", err)
 	}
 	db := &DB{dir: dir, opts: opts.withDefaults(), mem: newMemtable(1), ts: 0, te: -1}
-	if err := db.loadManifest(); err != nil {
-		return nil, err
-	}
-	// Replay the WAL into the fresh memtable, then start a new log.
-	walPath := filepath.Join(dir, "wal.log")
-	if err := replayWAL(walPath, func(k, v []byte) {
-		db.mem.put(k, v)
-		db.noteKey(k)
-		db.count++
-	}); err != nil {
-		return nil, err
-	}
-	w, err := createWAL(walPath)
+	oldWAL, err := db.loadManifest()
 	if err != nil {
 		return nil, err
 	}
-	db.wal = w
-	// Recompute bounds/counts from persistent tables.
+	if oldWAL == "" {
+		oldWAL = legacyWALName
+	}
+	// Replay the manifest's WAL into the fresh memtable. Only live puts
+	// count toward the point total and the time bounds.
+	if err := replayWAL(filepath.Join(dir, oldWAL), func(k, v []byte, tomb bool) {
+		db.mem.put(k, v, tomb)
+		if !tomb {
+			db.noteKey(k)
+			db.count++
+		}
+	}); err != nil {
+		return nil, err
+	}
+	// Recompute bounds/counts from the manifest's tables (before any
+	// recovery flush appends to the list).
 	for _, t := range db.tables {
-		db.count += t.count
+		db.count += t.count - t.tombs
 		if len(t.index) > 0 {
 			ft, _ := storage.DecodeKey(t.index[0].firstKey[:])
 			db.noteT(ft)
@@ -109,12 +138,64 @@ func Open(dir string, opts *Options) (*DB, error) {
 			if err != nil {
 				return nil, err
 			}
-			lastRec := lb[(int(t.index[len(t.index)-1].count)-1)*storage.RecordSize:]
+			lastRec := lb[(int(t.index[len(t.index)-1].count)-1)*t.recSize:]
 			lt, _ := storage.DecodeKey(lastRec[:storage.KeySize])
 			db.noteT(lt)
 		}
 	}
+	// Rotate to a fresh WAL. If replay recovered records, they are flushed
+	// to a run first so the manifest commit below cannot strand them: the
+	// old WAL is only removed once the new state is durable.
+	if err := db.recoverLocked(oldWAL); err != nil {
+		return nil, err
+	}
+	db.sweepOrphans()
+	db.startCompactor()
+	if len(db.tables) > db.opts.MaxTables {
+		db.kickCompact()
+	}
 	return db, nil
+}
+
+// recoverLocked finishes Open: persist any replayed records as a run,
+// commit a manifest naming a fresh WAL, then retire the old WAL. Called
+// before the DB is shared, so no locking.
+func (db *DB) recoverLocked(oldWAL string) error {
+	if db.mem.len() > 0 {
+		name := fmt.Sprintf("sst-%06d.sst", db.seq)
+		db.seq++
+		path := filepath.Join(db.dir, name)
+		if err := writeSSTable(path, db.mem.iterator(nil), len(db.tables) == 0); err != nil {
+			return err
+		}
+		t, err := openSSTable(path)
+		if err != nil {
+			return err
+		}
+		if t.count == 0 { // every record was a dropped tombstone
+			t.close()
+			os.Remove(path)
+		} else {
+			db.tables = append(db.tables, t)
+		}
+		db.mem = newMemtable(int64(db.seq))
+	}
+	crash("open.recovered")
+	db.walName = fmt.Sprintf("wal-%06d.log", db.seq)
+	db.seq++
+	w, err := createWAL(filepath.Join(db.dir, db.walName))
+	if err != nil {
+		return err
+	}
+	db.wal = w
+	if err := db.writeManifest(); err != nil {
+		w.close()
+		return err
+	}
+	if oldWAL != db.walName {
+		os.Remove(filepath.Join(db.dir, oldWAL))
+	}
+	return nil
 }
 
 func (db *DB) noteKey(k []byte) {
@@ -133,42 +214,6 @@ func (db *DB) noteT(t int32) {
 	if t > db.te {
 		db.te = t
 	}
-}
-
-func (db *DB) loadManifest() error {
-	data, err := os.ReadFile(filepath.Join(db.dir, manifestName))
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("lsm: read manifest: %w", err)
-	}
-	for _, name := range strings.Fields(string(data)) {
-		t, err := openSSTable(filepath.Join(db.dir, name))
-		if err != nil {
-			return err
-		}
-		db.tables = append(db.tables, t)
-		var n int
-		fmt.Sscanf(name, "sst-%d.sst", &n)
-		if n >= db.seq {
-			db.seq = n + 1
-		}
-	}
-	return nil
-}
-
-// writeManifest atomically records the current table list.
-func (db *DB) writeManifest() error {
-	var b strings.Builder
-	for _, t := range db.tables {
-		fmt.Fprintln(&b, filepath.Base(t.path))
-	}
-	tmp := filepath.Join(db.dir, manifestName+".tmp")
-	if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, filepath.Join(db.dir, manifestName))
 }
 
 // Put inserts one point.
@@ -194,9 +239,34 @@ func (db *DB) PutKV(key [storage.KeySize]byte, val [storage.ValueSize]byte) erro
 			return err
 		}
 	}
-	db.mem.put(key[:], val[:])
+	db.mem.put(key[:], val[:], false)
 	db.noteKey(key[:])
 	db.count++
+	if db.mem.bytes() >= db.opts.MemtableBytes {
+		return db.flushLocked()
+	}
+	return nil
+}
+
+// DeleteKV records a tombstone for key: the key disappears from reads
+// immediately and the marker shadows every older run until compaction
+// reaches the bottom level and garbage-collects it. Deleting an absent key
+// is a no-op that still writes a tombstone.
+func (db *DB) DeleteKV(key [storage.KeySize]byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return errors.New("lsm: db closed")
+	}
+	if err := db.wal.append(key[:], nil); err != nil {
+		return err
+	}
+	if db.opts.SyncWAL {
+		if err := db.wal.sync(); err != nil {
+			return err
+		}
+	}
+	db.mem.put(key[:], nil, true)
 	if db.mem.bytes() >= db.opts.MemtableBytes {
 		return db.flushLocked()
 	}
@@ -222,92 +292,101 @@ func (db *DB) Flush() error {
 	return db.flushLocked()
 }
 
+// flushLocked turns the memtable into a run. Ordering is the crash-safety
+// contract: (1) create the NEXT WAL, (2) write the sstable, (3) commit the
+// manifest referencing both, (4) only then retire the old WAL. A crash
+// before (3) leaves the old manifest: the orphaned sstable/WAL are swept
+// and the old WAL replays — nothing lost. A crash after (3) leaves the new
+// manifest: the old WAL is stale and swept — nothing replays twice. The
+// old ordering (manifest before WAL reset) double-replayed flushed records.
 func (db *DB) flushLocked() error {
 	if db.mem.len() == 0 {
 		return nil
 	}
+	nextWAL := fmt.Sprintf("wal-%06d.log", db.seq)
+	db.seq++
+	w, err := createWAL(filepath.Join(db.dir, nextWAL))
+	if err != nil {
+		return err
+	}
+	crash("flush.wal-created")
 	name := fmt.Sprintf("sst-%06d.sst", db.seq)
 	db.seq++
 	path := filepath.Join(db.dir, name)
-	if err := writeSSTable(path, db.mem.iterator(nil)); err != nil {
+	fail := func(err error) error {
+		w.close()
+		os.Remove(filepath.Join(db.dir, nextWAL))
 		return err
+	}
+	if err := writeSSTable(path, db.mem.iterator(nil), len(db.tables) == 0); err != nil {
+		return fail(err)
 	}
 	t, err := openSSTable(path)
 	if err != nil {
-		return err
+		os.Remove(path)
+		return fail(err)
 	}
-	db.tables = append(db.tables, t)
+	crash("flush.sstable-written")
+	if t.count == 0 {
+		// Every record was a tombstone dropped at the bottom level; rotate
+		// the WAL without adding an empty run.
+		t.close()
+		os.Remove(path)
+	} else {
+		db.tables = append(db.tables, t)
+	}
+	oldWAL := db.walName
+	db.walName = nextWAL
 	if err := db.writeManifest(); err != nil {
-		return err
+		db.walName = oldWAL
+		if t.count > 0 {
+			db.tables = db.tables[:len(db.tables)-1]
+			t.close()
+			os.Remove(path)
+		}
+		return fail(err)
 	}
-	// Reset WAL + memtable: flushed data is durable in the sstable.
-	if err := db.wal.close(); err != nil {
-		return err
-	}
-	w, err := createWAL(filepath.Join(db.dir, "wal.log"))
-	if err != nil {
-		return err
-	}
+	crash("flush.manifest-committed")
+	db.wal.close()
+	os.Remove(filepath.Join(db.dir, oldWAL))
 	db.wal = w
 	db.mem = newMemtable(int64(db.seq))
 	if len(db.tables) > db.opts.MaxTables {
-		return db.compactLocked()
+		db.kickCompact()
 	}
 	return nil
 }
 
-// Compact merges all runs into one.
+// Compact synchronously merges all runs into one, garbage-collecting every
+// tombstone (the bulk-load path; the serving path compacts in background).
 func (db *DB) Compact() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.compactLocked()
-}
-
-func (db *DB) compactLocked() error {
-	if len(db.tables) <= 1 {
-		return nil
-	}
-	its := make([]kvIterator, len(db.tables))
-	for i, t := range db.tables {
-		// Older tables first; mergeIter resolves duplicates toward the
-		// higher (newer) source index.
-		its[i] = t.iterator(nil, nil)
-	}
-	merged := newMergeIter(its)
-	name := fmt.Sprintf("sst-%06d.sst", db.seq)
-	db.seq++
-	path := filepath.Join(db.dir, name)
-	if err := writeSSTable(path, merged); err != nil {
-		return err
-	}
-	nt, err := openSSTable(path)
-	if err != nil {
-		return err
-	}
-	old := db.tables
-	db.tables = []*sstable{nt}
-	if err := db.writeManifest(); err != nil {
-		return err
-	}
-	for _, t := range old {
-		t.close()
-		os.Remove(t.path)
-	}
-	return nil
+	_, err := db.compactOnce(true)
+	return err
 }
 
 // Get returns the value bytes for (t, oid) or nil if absent.
 func (db *DB) Get(t, oid int32) ([]byte, error) {
+	key := storage.EncodeKey(t, oid)
+	return db.GetKV(key)
+}
+
+// GetKV returns the value bytes for key, or nil if absent or deleted.
+func (db *DB) GetKV(key [storage.KeySize]byte) ([]byte, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	key := storage.EncodeKey(t, oid)
-	if v := db.mem.get(key[:]); v != nil {
+	if v, tomb, ok := db.mem.get(key[:]); ok {
+		if tomb {
+			return nil, nil
+		}
 		return v, nil
 	}
 	for i := len(db.tables) - 1; i >= 0; i-- {
-		v, err := db.tables[i].get(key[:], &db.stats)
+		v, tomb, err := db.tables[i].get(key[:], &db.stats)
 		if err != nil {
 			return nil, err
+		}
+		if tomb {
+			return nil, nil
 		}
 		if v != nil {
 			return v, nil
@@ -323,7 +402,8 @@ func (db *DB) TimeRange() (int32, int32) {
 	return db.ts, db.te
 }
 
-// Count returns the number of inserted points (before dedup by key).
+// Count returns the number of inserted points (before dedup by key, net of
+// tombstones already folded into runs).
 func (db *DB) Count() uint64 {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -354,9 +434,12 @@ func (db *DB) Snapshot(t int32) ([]model.ObjPos, error) {
 		if kt != t {
 			break
 		}
+		db.stats.AddScanned(1)
+		if merged.tomb() {
+			continue
+		}
 		x, y := storage.DecodeValue(merged.value())
 		out = append(out, model.ObjPos{OID: oid, X: x, Y: y})
-		db.stats.AddScanned(1)
 	}
 	if err := merged.err(); err != nil {
 		return nil, err
@@ -365,12 +448,13 @@ func (db *DB) Snapshot(t int32) ([]model.ObjPos, error) {
 	return out, nil
 }
 
-// Scan calls fn for every record with key ≥ start, in ascending key order,
-// merged across the memtable and every on-disk run (newest version of a key
-// wins), until fn returns false or the keyspace is exhausted. The key and
-// value slices passed to fn are only valid during the call. The database
-// mutex is held for the whole scan — callers bound the walk (the archive's
-// query budget) and fn must not call back into the DB.
+// Scan calls fn for every live record with key ≥ start, in ascending key
+// order, merged across the memtable and every on-disk run (newest version
+// of a key wins; keys whose newest version is a tombstone are skipped),
+// until fn returns false or the keyspace is exhausted. The key and value
+// slices passed to fn are only valid during the call. The database mutex is
+// held for the whole scan — callers bound the walk (the archive's query
+// budget) and fn must not call back into the DB.
 func (db *DB) Scan(start [storage.KeySize]byte, fn func(key, val []byte) bool) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -382,6 +466,9 @@ func (db *DB) Scan(start [storage.KeySize]byte, fn func(key, val []byte) bool) e
 	merged := newMergeIter(its)
 	for ; merged.valid(); merged.next() {
 		db.stats.AddScanned(1)
+		if merged.tomb() {
+			continue
+		}
 		if !fn(merged.key(), merged.value()) {
 			break
 		}
@@ -411,14 +498,23 @@ func (db *DB) Fetch(t int32, oids model.ObjSet) ([]model.ObjPos, error) {
 	return out, nil
 }
 
-// Close flushes and closes the database.
+// Close flushes buffers, stops the compactor and closes the database.
 func (db *DB) Close() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return nil
 	}
 	db.closed = true
+	db.mu.Unlock()
+	// Stop the compactor before touching the tables: an in-flight merge
+	// sees closed at swap time, discards its output and exits.
+	if db.compact.quit != nil {
+		close(db.compact.quit)
+		<-db.compact.done
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	var firstErr error
 	if err := db.wal.sync(); err != nil {
 		firstErr = err
@@ -432,6 +528,35 @@ func (db *DB) Close() error {
 		}
 	}
 	return firstErr
+}
+
+// Abandon simulates a process kill for crash tests of packages built on
+// top of lsm (the archive's crash fuzz uses it): every file handle is
+// closed without flushing buffered WAL bytes, exactly like abandon. The
+// DB must not be used afterwards.
+func (db *DB) Abandon() { db.abandon() }
+
+// abandon simulates a process kill for crash tests: every file handle is
+// closed without flushing buffered WAL bytes (they are lost, as in a real
+// crash) and the compactor is stopped. The DB must not be used afterwards.
+func (db *DB) abandon() {
+	if db.compact.quit != nil {
+		select {
+		case <-db.compact.quit:
+		default:
+			close(db.compact.quit)
+		}
+		<-db.compact.done
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.closed = true
+	if db.wal != nil {
+		db.wal.f.Close()
+	}
+	for _, t := range db.tables {
+		t.f.Close()
+	}
 }
 
 // NumTables returns the current number of on-disk runs (for tests).
@@ -464,7 +589,8 @@ func WriteDataset(dir string, ds *model.Dataset, opts *Options) error {
 
 // mergeIter merges several sorted iterators; on duplicate keys the source
 // with the LARGEST slice index wins (callers order sources oldest→newest,
-// memtable last).
+// memtable last). Tombstones participate like any record — the caller
+// checks tomb() on each winner.
 type mergeIter struct {
 	srcs []kvIterator
 	cur  int // index of current winning source, -1 when exhausted
@@ -509,17 +635,24 @@ func (m *mergeIter) advance() {
 func (m *mergeIter) valid() bool   { return m.cur >= 0 }
 func (m *mergeIter) key() []byte   { return m.srcs[m.cur].key() }
 func (m *mergeIter) value() []byte { return m.srcs[m.cur].value() }
+func (m *mergeIter) tomb() bool    { return m.srcs[m.cur].tomb() }
 func (m *mergeIter) next() {
 	m.srcs[m.cur].next()
 	m.advance()
 }
 
-// err returns the first error any sstable source hit.
+// err returns the first error any fallible source hit, even after it
+// yielded partial results.
 func (m *mergeIter) err() error {
 	for _, it := range m.srcs {
-		if s, ok := it.(*sstIter); ok && s.err != nil {
-			return s.err
+		if s, ok := it.(faultIterator); ok {
+			if err := s.srcErr(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
+
+// srcErr lets nested mergeIters propagate source errors.
+func (m *mergeIter) srcErr() error { return m.err() }

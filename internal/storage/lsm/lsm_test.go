@@ -151,7 +151,7 @@ func TestWALTornTailIgnored(t *testing.T) {
 	}
 	db.wal.sync()
 	// Append garbage to the WAL to simulate a torn write.
-	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0)
+	f, err := os.OpenFile(filepath.Join(dir, db.walName), os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,8 @@ func TestAutoCompactionTriggers(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if db.NumTables() > 4 {
+	db.waitCompactions()
+	if db.NumTables() > 3 {
 		t.Fatalf("auto compaction did not bound runs: %d", db.NumTables())
 	}
 }
@@ -321,7 +322,7 @@ func TestMemtableOrderedIteration(t *testing.T) {
 	for i := 0; i < n; i++ {
 		k := storage.EncodeKey(int32(rng.Intn(100)), int32(rng.Intn(100)))
 		v := storage.EncodeValue(float64(i), 0)
-		m.put(k[:], v[:])
+		m.put(k[:], v[:], false)
 	}
 	var prev []byte
 	count := 0
@@ -342,7 +343,7 @@ func TestMemtableSeek(t *testing.T) {
 	for _, tt := range []int32{10, 20, 30} {
 		k := storage.EncodeKey(tt, 0)
 		v := storage.EncodeValue(0, 0)
-		m.put(k[:], v[:])
+		m.put(k[:], v[:], false)
 	}
 	start := storage.EncodeKey(15, 0)
 	it := m.iterator(start[:])
@@ -379,11 +380,11 @@ func TestMergeIterNewestWins(t *testing.T) {
 	k := storage.EncodeKey(1, 1)
 	vo := storage.EncodeValue(1, 0)
 	vn := storage.EncodeValue(2, 0)
-	old.put(k[:], vo[:])
-	newer.put(k[:], vn[:])
+	old.put(k[:], vo[:], false)
+	newer.put(k[:], vn[:], false)
 	k2 := storage.EncodeKey(0, 5)
 	v2 := storage.EncodeValue(9, 0)
-	old.put(k2[:], v2[:])
+	old.put(k2[:], v2[:], false)
 
 	m := newMergeIter([]kvIterator{old.iterator(nil), newer.iterator(nil)})
 	var got []float64

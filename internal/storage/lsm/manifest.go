@@ -1,0 +1,134 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The MANIFEST is the database's single commit point: it lists the live
+// sstables (oldest first) and names the active WAL. Flush and compaction
+// stage their output files first and only then rewrite the manifest, so any
+// file not referenced by it is garbage by construction and swept on Open.
+//
+//	sst-000003.sst
+//	sst-000007.sst
+//	wal wal-000008.log
+//
+// Manifests written before WAL rotation existed carry no "wal" line; they
+// imply the legacy fixed name "wal.log".
+const (
+	manifestName  = "MANIFEST"
+	legacyWALName = "wal.log"
+)
+
+// loadManifest opens every table listed in the manifest and returns the
+// active WAL name ("" when the manifest is missing or predates WAL naming).
+func (db *DB) loadManifest() (walName string, err error) {
+	data, err := os.ReadFile(filepath.Join(db.dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return "", nil
+	}
+	if err != nil {
+		return "", fmt.Errorf("lsm: read manifest: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == "wal" {
+			walName = fields[1]
+			continue
+		}
+		for _, name := range fields {
+			t, err := openSSTable(filepath.Join(db.dir, name))
+			if err != nil {
+				return "", err
+			}
+			db.tables = append(db.tables, t)
+			var n int
+			fmt.Sscanf(name, "sst-%d.sst", &n)
+			if n >= db.seq {
+				db.seq = n + 1
+			}
+		}
+	}
+	return walName, nil
+}
+
+// writeManifest atomically and durably records the current table list and
+// active WAL: the tmp file is fsynced before the rename and the directory
+// after it, so power loss can surface either the old or the new manifest
+// but never an empty or torn one.
+func (db *DB) writeManifest() error {
+	var b strings.Builder
+	for _, t := range db.tables {
+		fmt.Fprintln(&b, filepath.Base(t.path))
+	}
+	if db.walName != "" {
+		fmt.Fprintf(&b, "wal %s\n", db.walName)
+	}
+	tmp := filepath.Join(db.dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(b.String()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(db.dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(db.dir)
+}
+
+// syncDir fsyncs a directory so renames and unlinks inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// sweepOrphans removes lsm-owned files in dir that the committed manifest
+// does not reference: sstables from flushes or compactions that never
+// committed, WALs superseded by rotation, and a leftover MANIFEST.tmp.
+// Only names matching the engine's own patterns are touched.
+func (db *DB) sweepOrphans() {
+	live := make(map[string]bool, len(db.tables)+1)
+	for _, t := range db.tables {
+		live[filepath.Base(t.path)] = true
+	}
+	entries, err := os.ReadDir(db.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "sst-") && strings.HasSuffix(name, ".sst"):
+			if !live[name] {
+				os.Remove(filepath.Join(db.dir, name))
+			}
+		case name == legacyWALName || (strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log")):
+			if name != db.walName {
+				os.Remove(filepath.Join(db.dir, name))
+			}
+		case name == manifestName+".tmp":
+			os.Remove(filepath.Join(db.dir, name))
+		}
+	}
+}

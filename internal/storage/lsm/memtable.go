@@ -7,7 +7,9 @@ import (
 
 // memtable is an in-memory ordered map from keys to values implemented as a
 // skiplist, the standard LSM write buffer. Single-writer, multi-reader use
-// is coordinated by the owning DB's mutex.
+// is coordinated by the owning DB's mutex. An entry may be a tombstone — a
+// deletion marker that shadows any older on-disk version of the key until
+// compaction garbage-collects both.
 type memtable struct {
 	head   *skipNode
 	rng    *rand.Rand
@@ -20,6 +22,7 @@ const maxLevel = 16
 
 type skipNode struct {
 	key, val []byte
+	tomb     bool
 	next     [maxLevel]*skipNode
 }
 
@@ -35,8 +38,12 @@ func (m *memtable) randomLevel() int {
 	return lvl
 }
 
-// put inserts or overwrites key → val. Both slices are copied.
-func (m *memtable) put(key, val []byte) {
+// put inserts or overwrites key → val. Both slices are copied. A tombstone
+// entry (tomb true, val ignored) records a deletion.
+func (m *memtable) put(key, val []byte, tomb bool) {
+	if tomb {
+		val = nil
+	}
 	var update [maxLevel]*skipNode
 	x := m.head
 	for i := m.level - 1; i >= 0; i-- {
@@ -48,6 +55,7 @@ func (m *memtable) put(key, val []byte) {
 	if nxt := x.next[0]; nxt != nil && bytes.Equal(nxt.key, key) {
 		m.byteSz += len(val) - len(nxt.val)
 		nxt.val = append([]byte(nil), val...)
+		nxt.tomb = tomb
 		return
 	}
 	lvl := m.randomLevel()
@@ -57,7 +65,7 @@ func (m *memtable) put(key, val []byte) {
 		}
 		m.level = lvl
 	}
-	node := &skipNode{key: append([]byte(nil), key...), val: append([]byte(nil), val...)}
+	node := &skipNode{key: append([]byte(nil), key...), val: append([]byte(nil), val...), tomb: tomb}
 	for i := 0; i < lvl; i++ {
 		node.next[i] = update[i].next[i]
 		update[i].next[i] = node
@@ -66,8 +74,9 @@ func (m *memtable) put(key, val []byte) {
 	m.byteSz += len(key) + len(val) + 32
 }
 
-// get returns the value for key, or nil if absent.
-func (m *memtable) get(key []byte) []byte {
+// get returns the entry for key: ok reports whether the memtable holds any
+// version of the key, and tomb whether that version is a deletion marker.
+func (m *memtable) get(key []byte) (val []byte, tomb, ok bool) {
 	x := m.head
 	for i := m.level - 1; i >= 0; i-- {
 		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
@@ -75,12 +84,12 @@ func (m *memtable) get(key []byte) []byte {
 		}
 	}
 	if nxt := x.next[0]; nxt != nil && bytes.Equal(nxt.key, key) {
-		return nxt.val
+		return nxt.val, nxt.tomb, true
 	}
-	return nil
+	return nil, false, false
 }
 
-// len returns the number of entries.
+// len returns the number of entries (tombstones included).
 func (m *memtable) len() int { return m.n }
 
 // bytes returns the approximate heap footprint, used for flush triggering.
@@ -97,10 +106,11 @@ func (m *memtable) iterator(start []byte) *memIter {
 	return &memIter{node: x.next[0]}
 }
 
-// memIter walks the skiplist in key order.
+// memIter walks the skiplist in key order, tombstones included.
 type memIter struct{ node *skipNode }
 
 func (it *memIter) valid() bool   { return it.node != nil }
 func (it *memIter) key() []byte   { return it.node.key }
 func (it *memIter) value() []byte { return it.node.val }
+func (it *memIter) tomb() bool    { return it.node.tomb }
 func (it *memIter) next()         { it.node = it.node.next[0] }

@@ -9,23 +9,34 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/storage"
 )
 
 // SSTable layout (all integers little-endian):
 //
-//	data blocks : blockRecs × (key[8] | value[16]) each (last may be short)
+//	data blocks : blockRecs × (key[8] | value[16] | meta[1]) each (last may
+//	              be short); meta bit 0 marks a tombstone (value zeroed)
 //	index block : numBlocks × (firstKey[8] | u64 offset | u32 count)
-//	bloom block : bit array
+//	bloom block : bit array (tombstone keys included — a tombstone must be
+//	              FOUND so it can shadow older runs)
 //	footer      : u64 indexOff | u32 numBlocks | u64 bloomOff | u32 bloomLen
-//	              u64 recordCount | magic "K2SS"
+//	              u64 recordCount | u64 tombCount | magic "K2S2"
 //
 // Records within and across blocks are sorted ascending by key and unique.
+// Tables written by earlier versions (magic "K2SS", 24-byte records without
+// the meta byte, 36-byte footer without tombCount) are still readable; they
+// cannot contain tombstones.
 const (
-	blockRecs  = 170 // ≈4KB data blocks
-	footerSize = 8 + 4 + 8 + 4 + 8 + 4
-	sstMagic   = "K2SS"
+	blockRecs    = 170 // ≈4KB data blocks
+	footerSize   = 8 + 4 + 8 + 4 + 8 + 8 + 4
+	sstMagic     = "K2S2"
+	footerSizeV1 = 8 + 4 + 8 + 4 + 8 + 4
+	sstMagicV1   = "K2SS"
+
+	recSizeV2 = storage.RecordSize + 1
+	tombFlag  = 1 // meta bit 0
 )
 
 type blockMeta struct {
@@ -40,12 +51,19 @@ type sstable struct {
 	path   string
 	index  []blockMeta
 	filter *bloom
-	count  uint64
-	// reads counts physical block reads for I/O accounting.
-	reads int64
+	count  uint64 // all records, tombstones included
+	tombs  uint64 // tombstone records
+	// recSize is the on-disk record width: 25 for current tables (meta
+	// byte), 24 for legacy tables without tombstone support.
+	recSize int
+	// reads counts physical block reads for I/O accounting. Atomic: the
+	// background compactor reads input tables without holding the DB mutex
+	// while foreground readers (who do hold it) touch the same tables.
+	reads atomic.Int64
 	// cache holds recently read data blocks (clock eviction). Point-query
 	// workloads like HWMT hit the same blocks repeatedly; without a cache
-	// every get would pay a 4 KiB pread.
+	// every get would pay a 4 KiB pread. Guarded by the owning DB's mutex
+	// (the compactor's iterators bypass it).
 	cache map[int][]byte
 	clock []int
 	hand  int
@@ -54,9 +72,12 @@ type sstable struct {
 // blockCacheCap bounds the per-table block cache (≈1 MiB of 4 KiB blocks).
 const blockCacheCap = 256
 
-// writeSSTable streams sorted (key, val) pairs from it into a new table
-// file at path.
-func writeSSTable(path string, it kvIterator) (retErr error) {
+// writeSSTable streams sorted (key, val, tomb) records from it into a new
+// table file at path, always in the current (tombstone-capable) format.
+// When dropTombs is set, tombstone records are filtered out instead of
+// written — only valid when the merge window includes the oldest run, i.e.
+// there is no older version left for the tombstone to shadow.
+func writeSSTable(path string, it kvIterator, dropTombs bool) (retErr error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("lsm: create sstable: %w", err)
@@ -69,28 +90,35 @@ func writeSSTable(path string, it kvIterator) (retErr error) {
 	}()
 	w := bufio.NewWriterSize(f, 1<<20)
 	var (
-		index   []blockMeta
-		keys    [][]byte
-		inBlock uint32
-		off     uint64
-		cur     blockMeta
-		total   uint64
-		prev    []byte
+		idx      []blockMeta
+		keys     [][]byte
+		inBlock  uint32
+		off      uint64
+		cur      blockMeta
+		total    uint64
+		tombs    uint64
+		prev     []byte
+		zeroVal  [storage.ValueSize]byte
+		metaByte [1]byte
 	)
 	flushBlock := func() {
 		if inBlock == 0 {
 			return
 		}
 		cur.count = inBlock
-		index = append(index, cur)
+		idx = append(idx, cur)
 		inBlock = 0
 	}
 	for ; it.valid(); it.next() {
-		k, v := it.key(), it.value()
+		k := it.key()
 		if prev != nil && bytes.Compare(k, prev) <= 0 {
 			return fmt.Errorf("lsm: sstable writer got out-of-order key")
 		}
 		prev = append(prev[:0], k...)
+		tomb := it.tomb()
+		if tomb && dropTombs {
+			continue
+		}
 		if inBlock == 0 {
 			copy(cur.firstKey[:], k)
 			cur.off = off
@@ -98,10 +126,20 @@ func writeSSTable(path string, it kvIterator) (retErr error) {
 		if _, err := w.Write(k); err != nil {
 			return err
 		}
+		v := it.value()
+		metaByte[0] = 0
+		if tomb {
+			v = zeroVal[:]
+			metaByte[0] = tombFlag
+			tombs++
+		}
 		if _, err := w.Write(v); err != nil {
 			return err
 		}
-		off += storage.RecordSize
+		if _, err := w.Write(metaByte[:]); err != nil {
+			return err
+		}
+		off += recSizeV2
 		inBlock++
 		total++
 		keys = append(keys, append([]byte(nil), k...))
@@ -111,7 +149,7 @@ func writeSSTable(path string, it kvIterator) (retErr error) {
 	}
 	flushBlock()
 	indexOff := off
-	for _, bm := range index {
+	for _, bm := range idx {
 		if _, err := w.Write(bm.firstKey[:]); err != nil {
 			return err
 		}
@@ -134,11 +172,12 @@ func writeSSTable(path string, it kvIterator) (retErr error) {
 	off += uint64(len(filter.bits))
 	var footer [footerSize]byte
 	binary.LittleEndian.PutUint64(footer[0:8], indexOff)
-	binary.LittleEndian.PutUint32(footer[8:12], uint32(len(index)))
+	binary.LittleEndian.PutUint32(footer[8:12], uint32(len(idx)))
 	binary.LittleEndian.PutUint64(footer[12:20], bloomOff)
 	binary.LittleEndian.PutUint32(footer[20:24], uint32(len(filter.bits)))
 	binary.LittleEndian.PutUint64(footer[24:32], total)
-	copy(footer[32:36], sstMagic)
+	binary.LittleEndian.PutUint64(footer[32:40], tombs)
+	copy(footer[40:44], sstMagic)
 	if _, err := w.Write(footer[:]); err != nil {
 		return err
 	}
@@ -152,7 +191,8 @@ func writeSSTable(path string, it kvIterator) (retErr error) {
 }
 
 // openSSTable maps an existing table: footer, index and bloom are loaded
-// eagerly (they are small); data blocks are read on demand.
+// eagerly (they are small); data blocks are read on demand. Both the
+// current "K2S2" and the legacy "K2SS" formats are accepted.
 func openSSTable(path string) (*sstable, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -163,26 +203,42 @@ func openSSTable(path string) (*sstable, error) {
 		f.Close()
 		return nil, err
 	}
-	if st.Size() < footerSize {
+	if st.Size() < footerSizeV1 {
 		f.Close()
 		return nil, errors.New("lsm: sstable too small")
 	}
+	t := &sstable{f: f, path: path, recSize: recSizeV2}
 	var footer [footerSize]byte
-	if _, err := f.ReadAt(footer[:], st.Size()-footerSize); err != nil {
-		f.Close()
-		return nil, err
-	}
-	if string(footer[32:36]) != sstMagic {
+	var indexOff, bloomOff uint64
+	var numBlocks, bloomLen int
+	switch {
+	case st.Size() >= footerSize && readMagic(f, st.Size()-4) == sstMagic:
+		if _, err := f.ReadAt(footer[:], st.Size()-footerSize); err != nil {
+			f.Close()
+			return nil, err
+		}
+		indexOff = binary.LittleEndian.Uint64(footer[0:8])
+		numBlocks = int(binary.LittleEndian.Uint32(footer[8:12]))
+		bloomOff = binary.LittleEndian.Uint64(footer[12:20])
+		bloomLen = int(binary.LittleEndian.Uint32(footer[20:24]))
+		t.count = binary.LittleEndian.Uint64(footer[24:32])
+		t.tombs = binary.LittleEndian.Uint64(footer[32:40])
+	case readMagic(f, st.Size()-4) == sstMagicV1:
+		if _, err := f.ReadAt(footer[:footerSizeV1], st.Size()-footerSizeV1); err != nil {
+			f.Close()
+			return nil, err
+		}
+		indexOff = binary.LittleEndian.Uint64(footer[0:8])
+		numBlocks = int(binary.LittleEndian.Uint32(footer[8:12]))
+		bloomOff = binary.LittleEndian.Uint64(footer[12:20])
+		bloomLen = int(binary.LittleEndian.Uint32(footer[20:24]))
+		t.count = binary.LittleEndian.Uint64(footer[24:32])
+		t.recSize = storage.RecordSize
+	default:
 		f.Close()
 		return nil, errors.New("lsm: bad sstable magic")
 	}
-	indexOff := binary.LittleEndian.Uint64(footer[0:8])
-	numBlocks := int(binary.LittleEndian.Uint32(footer[8:12]))
-	bloomOff := binary.LittleEndian.Uint64(footer[12:20])
-	bloomLen := int(binary.LittleEndian.Uint32(footer[20:24]))
-	count := binary.LittleEndian.Uint64(footer[24:32])
 
-	t := &sstable{f: f, path: path, count: count}
 	idxBuf := make([]byte, numBlocks*(storage.KeySize+12))
 	if _, err := f.ReadAt(idxBuf, int64(indexOff)); err != nil {
 		f.Close()
@@ -204,7 +260,19 @@ func openSSTable(path string) (*sstable, error) {
 	return t, nil
 }
 
+// readMagic returns the 4 bytes at off, or "" on error.
+func readMagic(f *os.File, off int64) string {
+	var m [4]byte
+	if _, err := f.ReadAt(m[:], off); err != nil {
+		return ""
+	}
+	return string(m[:])
+}
+
 func (t *sstable) close() error { return t.f.Close() }
+
+// hasMeta reports whether records carry the trailing meta byte.
+func (t *sstable) hasMeta() bool { return t.recSize == recSizeV2 }
 
 // blockFor returns the index of the block that could contain key, or -1.
 func (t *sstable) blockFor(key []byte) int {
@@ -217,7 +285,7 @@ func (t *sstable) blockFor(key []byte) int {
 // readBlock loads block bi into buf.
 func (t *sstable) readBlock(bi int, buf []byte) ([]byte, error) {
 	bm := t.index[bi]
-	need := int(bm.count) * storage.RecordSize
+	need := int(bm.count) * t.recSize
 	if cap(buf) < need {
 		buf = make([]byte, need)
 	}
@@ -225,7 +293,7 @@ func (t *sstable) readBlock(bi int, buf []byte) ([]byte, error) {
 	if _, err := t.f.ReadAt(buf, int64(bm.off)); err != nil {
 		return nil, fmt.Errorf("lsm: read block %d: %w", bi, err)
 	}
-	t.reads++
+	t.reads.Add(1)
 	return buf, nil
 }
 
@@ -253,40 +321,46 @@ func (t *sstable) cachedBlock(bi int) (block []byte, phys bool, err error) {
 	return b, true, nil
 }
 
-// get returns the value for key, or nil if absent from this table.
-func (t *sstable) get(key []byte, stats *storage.IOStats) ([]byte, error) {
+// get returns the entry for key in this table: val is nil when the key is
+// absent, and tomb is set when the newest version here is a tombstone (the
+// caller must stop searching older runs).
+func (t *sstable) get(key []byte, stats *storage.IOStats) (val []byte, tomb bool, err error) {
 	if !t.filter.mayContain(key) {
-		return nil, nil
+		return nil, false, nil
 	}
 	bi := t.blockFor(key)
 	if bi < 0 {
-		return nil, nil
+		return nil, false, nil
 	}
 	block, phys, err := t.cachedBlock(bi)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if stats != nil && phys {
 		stats.AddSeeks(1)
 		stats.AddBytes(len(block))
 	}
+	rs := t.recSize
 	n := int(t.index[bi].count)
 	lo, hi := 0, n
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if bytes.Compare(block[mid*storage.RecordSize:mid*storage.RecordSize+storage.KeySize], key) < 0 {
+		if bytes.Compare(block[mid*rs:mid*rs+storage.KeySize], key) < 0 {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
 	if lo < n {
-		rec := block[lo*storage.RecordSize:]
+		rec := block[lo*rs:]
 		if bytes.Equal(rec[:storage.KeySize], key) {
-			return append([]byte(nil), rec[storage.KeySize:storage.RecordSize]...), nil
+			if t.hasMeta() && rec[storage.RecordSize]&tombFlag != 0 {
+				return nil, true, nil
+			}
+			return append([]byte(nil), rec[storage.KeySize:storage.RecordSize]...), false, nil
 		}
 	}
-	return nil, nil
+	return nil, false, nil
 }
 
 // iterator returns an sstIter positioned at the first key ≥ start.
@@ -302,11 +376,12 @@ func (t *sstable) iterator(start []byte, stats *storage.IOStats) *sstIter {
 		return it
 	}
 	// Position within the block.
+	rs := t.recSize
 	n := int(t.index[bi].count)
 	lo, hi := 0, n
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if bytes.Compare(it.block[mid*storage.RecordSize:mid*storage.RecordSize+storage.KeySize], start) < 0 {
+		if bytes.Compare(it.block[mid*rs:mid*rs+storage.KeySize], start) < 0 {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -317,7 +392,7 @@ func (t *sstable) iterator(start []byte, stats *storage.IOStats) *sstIter {
 	return it
 }
 
-// sstIter iterates one sstable in key order.
+// sstIter iterates one sstable in key order, tombstones included.
 type sstIter struct {
 	t     *sstable
 	stats *storage.IOStats
@@ -361,30 +436,48 @@ func (it *sstIter) skipExhausted() {
 
 func (it *sstIter) valid() bool { return it.err == nil && it.block != nil }
 func (it *sstIter) key() []byte {
-	off := it.i * storage.RecordSize
+	off := it.i * it.t.recSize
 	return it.block[off : off+storage.KeySize]
 }
 func (it *sstIter) value() []byte {
-	off := it.i*storage.RecordSize + storage.KeySize
+	off := it.i*it.t.recSize + storage.KeySize
 	return it.block[off : off+storage.ValueSize]
+}
+func (it *sstIter) tomb() bool {
+	if !it.t.hasMeta() {
+		return false
+	}
+	return it.block[it.i*it.t.recSize+storage.RecordSize]&tombFlag != 0
 }
 func (it *sstIter) next() {
 	it.i++
 	it.skipExhausted()
 }
 
+// srcErr exposes the iterator's sticky error to mergeIter.
+func (it *sstIter) srcErr() error { return it.err }
+
 // kvIterator is the common iterator shape shared by memtable, sstable and
-// merge iterators.
+// merge iterators. tomb reports whether the current record is a deletion
+// marker.
 type kvIterator interface {
 	valid() bool
 	key() []byte
 	value() []byte
+	tomb() bool
 	next()
+}
+
+// faultIterator is implemented by sources whose scans can fail mid-stream;
+// mergeIter.err surfaces the first such error.
+type faultIterator interface {
+	srcErr() error
 }
 
 // check interface conformance at compile time.
 var (
-	_ kvIterator = (*memIter)(nil)
-	_ kvIterator = (*sstIter)(nil)
-	_ io.Closer  = (*os.File)(nil)
+	_ kvIterator    = (*memIter)(nil)
+	_ kvIterator    = (*sstIter)(nil)
+	_ faultIterator = (*sstIter)(nil)
+	_ io.Closer     = (*os.File)(nil)
 )

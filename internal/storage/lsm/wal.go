@@ -14,9 +14,10 @@ import (
 //
 //	u32 crc (over everything after it) | u16 keyLen | u16 valLen | key | val
 //
-// Replay stops at the first corrupt or truncated record, which models the
-// usual crash-recovery contract: a torn tail write loses only the records
-// after the tear.
+// A record with valLen == 0 is a tombstone (all live values are 16 bytes,
+// so a zero-length value is unambiguous). Replay stops at the first corrupt
+// or truncated record, which models the usual crash-recovery contract: a
+// torn tail write loses only the records after the tear.
 type wal struct {
 	f   *os.File
 	w   *bufio.Writer
@@ -31,8 +32,9 @@ func createWAL(path string) (*wal, error) {
 	return &wal{f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
 }
 
-// append writes one record. Durability is best-effort (no fsync per record)
-// matching the paper's bulk-ingest usage; call sync for a hard barrier.
+// append writes one record; a nil/empty val records a tombstone. Durability
+// is best-effort (no fsync per record) matching the paper's bulk-ingest
+// usage; call sync for a hard barrier.
 func (w *wal) append(key, val []byte) error {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint16(hdr[4:6], uint16(len(key)))
@@ -72,9 +74,10 @@ func (w *wal) close() error {
 	return w.f.Close()
 }
 
-// replayWAL streams every intact record of the log at path into fn. A
-// missing file is not an error (fresh database).
-func replayWAL(path string, fn func(key, val []byte)) error {
+// replayWAL streams every intact record of the log at path into fn, with
+// tomb set for tombstone (zero-length value) records. A missing file is not
+// an error (fresh database).
+func replayWAL(path string, fn func(key, val []byte, tomb bool)) error {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
@@ -101,6 +104,6 @@ func replayWAL(path string, fn func(key, val []byte)) error {
 		if crc.Sum32() != binary.LittleEndian.Uint32(hdr[0:4]) {
 			return nil // corrupt record: stop
 		}
-		fn(buf[:keyLen], buf[keyLen:])
+		fn(buf[:keyLen], buf[keyLen:], valLen == 0)
 	}
 }
