@@ -1,9 +1,15 @@
-// Command convoyd serves streaming convoy mining over HTTP: JSON snapshot
-// ingest per feed, long-poll queries for closed convoys, an end-of-feed
-// flush returning the full maximal result set, and — with -archive-dir —
-// historical queries over everything ever persisted. docs/API.md is the
-// complete endpoint reference; see docs/ARCHITECTURE.md ("convoyd") for
-// the sharding, reordering and archive design.
+// Command convoyd serves streaming convoy mining over HTTP: snapshot
+// ingest per feed (JSON, or the K2BI binary batch protocol negotiated on
+// Content-Type, including a sticky per-connection stream endpoint),
+// long-poll queries for closed convoys, an end-of-feed flush returning
+// the full maximal result set, and — with -archive-dir — historical
+// queries over everything ever persisted. Ingest is guarded by admission
+// control: -ingest-rate/-ingest-burst arm a per-feed token bucket and
+// -breaker-threshold/-breaker-cooldown a per-shard circuit breaker; all
+// rejections answer 429 with Retry-After and a machine-readable code.
+// docs/API.md is the complete endpoint reference; see
+// docs/ARCHITECTURE.md ("convoyd") for the sharding, reordering and
+// archive design.
 //
 // Example:
 //
@@ -75,6 +81,10 @@ func main() {
 		retention    = flag.Int("retention", 0, "expire archived convoys whose End tick lags the newest archived End by this many ticks or more (0 = keep everything); requires -archive-dir")
 		queryBudget  = flag.Int("query-budget", 0, "index entries one /v1/query page may examine before returning a cursor (0 = default 65536)")
 		maxFeeds     = flag.Int("max-feeds", 0, "cap on live feeds; creating more answers 429 (0 = default 65536)")
+		ingestRate   = flag.Float64("ingest-rate", 0, "per-feed ingest rate limit in snapshots/sec; excess answers 429 rate_limited (0 = unlimited)")
+		ingestBurst  = flag.Int("ingest-burst", 0, "per-feed ingest burst capacity in snapshots (0 = default 2×ingest-rate)")
+		breakThresh  = flag.Int("breaker-threshold", 0, "consecutive queue-full rejections that open a shard's circuit breaker (0 = breakers disabled)")
+		breakCool    = flag.Duration("breaker-cooldown", 0, "how long an open breaker sheds ingest before probing (0 = default 1s)")
 	)
 	flag.Parse()
 
@@ -88,6 +98,18 @@ func main() {
 	}
 	if *retention > 0 && *archiveDir == "" {
 		fmt.Fprintln(os.Stderr, "convoyd: -retention requires -archive-dir (retention expires archived convoys)")
+		os.Exit(1)
+	}
+	if *ingestRate < 0 || *ingestBurst < 0 || *breakThresh < 0 || *breakCool < 0 {
+		fmt.Fprintln(os.Stderr, "convoyd: -ingest-rate, -ingest-burst, -breaker-threshold and -breaker-cooldown must be >= 0")
+		os.Exit(1)
+	}
+	if *ingestBurst > 0 && *ingestRate == 0 {
+		fmt.Fprintln(os.Stderr, "convoyd: -ingest-burst requires -ingest-rate")
+		os.Exit(1)
+	}
+	if *breakCool > 0 && *breakThresh == 0 {
+		fmt.Fprintln(os.Stderr, "convoyd: -breaker-cooldown requires -breaker-threshold")
 		os.Exit(1)
 	}
 
@@ -128,6 +150,11 @@ func main() {
 		Retention:    int32(*retention),
 		QueryBudget:  *queryBudget,
 		MaxFeeds:     *maxFeeds,
+
+		IngestRate:       *ingestRate,
+		IngestBurst:      *ingestBurst,
+		BreakerThreshold: *breakThresh,
+		BreakerCooldown:  *breakCool,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "convoyd:", err)

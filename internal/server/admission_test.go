@@ -1,0 +1,334 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/minetest"
+	"repro/internal/model"
+)
+
+// jsonBody marshals v for a raw http.Post (used when the test needs the
+// response headers, which postJSON discards).
+func jsonBody(t *testing.T, v any) *bytes.Reader {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(data)
+}
+
+func TestTokenBucket(t *testing.T) {
+	now := int64(0)
+	b := newTokenBucket(10, 5, now) // 10 snapshots/s, burst 5
+
+	if _, ok := b.take(5, now); !ok {
+		t.Fatal("full bucket refused its burst")
+	}
+	wait, ok := b.take(1, now)
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if wait <= 0 || wait > 100*time.Millisecond {
+		t.Fatalf("wait for 1 token at 10/s: %v, want ~100ms", wait)
+	}
+	// Refill: 250ms at 10/s is 2.5 tokens.
+	now += int64(250 * time.Millisecond)
+	if _, ok := b.take(2, now); !ok {
+		t.Fatal("bucket did not refill")
+	}
+	if _, ok := b.take(1, now); ok {
+		t.Fatal("bucket over-refilled")
+	}
+	// Refill caps at burst.
+	now += int64(time.Hour)
+	if _, ok := b.take(5, now); !ok {
+		t.Fatal("bucket did not cap refill at burst")
+	}
+	// A batch larger than the whole bucket is charged the full bucket, not
+	// rejected forever.
+	now += int64(time.Hour)
+	if _, ok := b.take(100, now); !ok {
+		t.Fatal("oversized batch unservable")
+	}
+	if _, ok := b.take(1, now); ok {
+		t.Fatal("oversized batch did not drain the bucket")
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(3, time.Second)
+
+	for i := 0; i < 3; i++ {
+		if _, ok := b.allow(now); !ok {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.record(ErrBackpressure, now)
+	}
+	if wait, ok := b.allow(now); ok || wait != time.Second {
+		t.Fatalf("breaker not open after threshold: ok=%v wait=%v", ok, wait)
+	}
+	if got := b.trips.Load(); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+	if b.stateName(now) != "open" {
+		t.Fatalf("state %q, want open", b.stateName(now))
+	}
+
+	// Cooldown over: exactly one probe gets through.
+	now = now.Add(time.Second)
+	if b.stateName(now) != "half_open" {
+		t.Fatalf("state %q, want half_open", b.stateName(now))
+	}
+	if _, ok := b.allow(now); !ok {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if _, ok := b.allow(now); ok {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// Probe fails: straight back to open for another cooldown.
+	b.record(ErrBackpressure, now)
+	if _, ok := b.allow(now.Add(time.Second - 1)); ok {
+		t.Fatal("reopened breaker admitted inside cooldown")
+	}
+	if got := b.trips.Load(); got != 2 {
+		t.Fatalf("trips = %d, want 2", got)
+	}
+	// Next probe succeeds: closed again, failure streak reset.
+	now = now.Add(2 * time.Second)
+	if _, ok := b.allow(now); !ok {
+		t.Fatal("breaker refused the second probe")
+	}
+	b.record(nil, now)
+	if b.stateName(now) != "closed" {
+		t.Fatalf("state %q after successful probe, want closed", b.stateName(now))
+	}
+	// Neutral outcomes (eviction races, shutdown) say nothing about queue
+	// health: they neither advance nor reset the queue-full streak.
+	b.record(ErrBackpressure, now)
+	b.record(ErrFeedEvicted, now)
+	b.record(ErrBackpressure, now)
+	if _, ok := b.allow(now); !ok {
+		t.Fatal("a streak of 2 queue-fulls tripped a threshold-3 breaker")
+	}
+	b.record(ErrBackpressure, now)
+	if _, ok := b.allow(now); ok {
+		t.Fatal("the third queue-full did not trip the breaker")
+	}
+}
+
+// TestIngestRateLimit exercises the per-feed token bucket end to end: a
+// feed over its budget gets 429 rate_limited with Retry-After, other feeds
+// are unaffected, and /v1/stats counts the sheds.
+func TestIngestRateLimit(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Shards: 2, IngestRate: 0.001, IngestBurst: 3})
+	ds := minetest.Random(6, 10, 16)
+	snaps := snapshotsOf(ds, 0, 5)
+
+	// Burst of 3 admitted, the 4th snapshot is over budget (refill is ~0 at
+	// 0.001/s, so the test cannot flake on timing).
+	code, body := postJSON(t, ts.URL+"/v1/feeds/limited/ingest", ingestRequest{Snapshots: snaps[:3]})
+	if code != http.StatusAccepted {
+		t.Fatalf("burst: status %d: %s", code, body)
+	}
+	code, body = postJSON(t, ts.URL+"/v1/feeds/limited/ingest", ingestRequest{Snapshots: snaps[3:4]})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over budget: status %d, want 429: %s", code, body)
+	}
+	if e := decodeEnvelope(t, body); e.Code != string(codeRateLimited) {
+		t.Fatalf("over budget: code %q, want %q", e.Code, codeRateLimited)
+	}
+	resp, err := http.Post(ts.URL+"/v1/feeds/limited/ingest", "application/json",
+		jsonBody(t, ingestRequest{Snapshots: snaps[4:5]}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over budget: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After breaks the backpressure contract")
+	}
+	// The bucket is per feed: a different feed still ingests.
+	code, body = postJSON(t, ts.URL+"/v1/feeds/other/ingest", ingestRequest{Snapshots: snaps[:3]})
+	if code != http.StatusAccepted {
+		t.Fatalf("other feed: status %d: %s", code, body)
+	}
+	if st := srv.Stats(); st.Admission.RateLimitedTotal < 2 {
+		t.Fatalf("stats count %d rate-limited sheds, want >= 2", st.Admission.RateLimitedTotal)
+	}
+}
+
+// TestBreakerSheds stalls a shard so its queue jams, drives ingest until
+// the queue-full streak trips the breaker, and checks the failure mode
+// changes from queue_full to breaker_open — i.e. load is being shed before
+// the queue (and its enqueue-wait) is even touched. Releasing the shard
+// closes the breaker again via the half-open probe.
+func TestBreakerSheds(t *testing.T) {
+	release := make(chan struct{})
+	srv, ts := newTestServer(t, Config{
+		Shards: 1, QueueLen: 2, BreakerThreshold: 3, BreakerCooldown: time.Second,
+		testHook: func(int) { <-release },
+	})
+	ds := minetest.Random(7, 10, 16)
+	one := snapshotsOf(ds, 0, 0)
+
+	var queueFull, breakerOpen int
+	deadline := time.Now().Add(10 * time.Second)
+	for breakerOpen == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never opened")
+		}
+		code, body := postJSON(t, ts.URL+"/v1/feeds/jam/ingest", ingestRequest{Snapshots: one})
+		switch code {
+		case http.StatusAccepted:
+		case http.StatusTooManyRequests:
+			switch e := decodeEnvelope(t, body); e.Code {
+			case string(codeQueueFull):
+				queueFull++
+			case string(codeBreakerOpen):
+				breakerOpen++
+			default:
+				t.Fatalf("unexpected 429 code %q", e.Code)
+			}
+		default:
+			t.Fatalf("status %d: %s", code, body)
+		}
+	}
+	if queueFull < 3 {
+		t.Fatalf("breaker opened after %d queue-full rejections, want >= threshold 3", queueFull)
+	}
+	st := srv.Stats()
+	if st.Shards[0].BreakerState != "open" {
+		t.Fatalf("breaker state %q, want open", st.Shards[0].BreakerState)
+	}
+	if st.Admission.BreakerTripsTotal < 1 || st.Admission.BreakerRejectedTotal < 1 || st.Admission.QueueFullTotal < 3 {
+		t.Fatalf("admission stats %+v do not reflect the incident", st.Admission)
+	}
+
+	// Unjam the shard; after the cooldown a probe succeeds and ingest flows
+	// again.
+	close(release)
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		code, _ := postJSON(t, ts.URL+"/v1/feeds/jam/ingest", ingestRequest{Snapshots: snapshotsOf(ds, 1, 1)})
+		if code == http.StatusAccepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never closed after the shard drained")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStreamCoalescingAvoidsBackpressure is the soak regression for the
+// binary protocol's raison d'être: a snapshot-per-request JSON load that
+// reliably trips queue-full on a stalled shard is replayed as one binary
+// stream, whose chunked enqueues fit the same queue with zero 429s — and
+// the mined output still matches batch PCCD.
+func TestStreamCoalescingAvoidsBackpressure(t *testing.T) {
+	ds := minetest.Random(8, 10, 64)
+	lo, hi := ds.TimeRange()
+	nTicks := int(hi - lo + 1)
+
+	run := func(t *testing.T, send func(ts string) int) int {
+		release := make(chan struct{})
+		stalled := false
+		srv, ts := newTestServer(t, Config{
+			Shards: 1, QueueLen: 8,
+			testHook: func(int) {
+				if !stalled {
+					stalled = true
+					<-release
+				}
+			},
+		})
+		rejected := send(ts.URL)
+		close(release)
+		got := flushFeed(t, ts.URL, "soak")
+		if rejected == 0 {
+			if want := batchPCCD(t, ds); !model.ConvoysEqual(got, want) {
+				t.Fatalf("soak output %v != batch %v", got, want)
+			}
+		}
+		_ = srv
+		return rejected
+	}
+
+	// JSON, one request per snapshot: the stalled actor takes the first
+	// message, the queue holds 8, so 64 sequential requests must shed.
+	t.Run("json-per-snapshot", func(t *testing.T) {
+		rejected := run(t, func(base string) int {
+			rejected := 0
+			for i := 0; i < nTicks; i++ {
+				code, body := postJSON(t, base+"/v1/feeds/soak/ingest",
+					ingestRequest{Snapshots: snapshotsOf(ds, lo+int32(i), lo+int32(i))})
+				switch code {
+				case http.StatusAccepted:
+				case http.StatusTooManyRequests:
+					if e := decodeEnvelope(t, body); e.Code != string(codeQueueFull) {
+						t.Fatalf("429 code %q, want queue_full", e.Code)
+					}
+					rejected++
+				default:
+					t.Fatalf("status %d: %s", code, body)
+				}
+			}
+			return rejected
+		})
+		if rejected == 0 {
+			t.Fatal("the JSON load no longer trips queue-full; the soak comparison is vacuous")
+		}
+	})
+
+	// The same 64 snapshots as one binary stream: 16-tick chunks mean at
+	// most 4 queue slots, so the identical server config sheds nothing.
+	t.Run("binary-stream", func(t *testing.T) {
+		rejected := run(t, func(base string) int {
+			status, body := streamIngest(t, base, "soak", encodeDataset(t, ds, lo, hi))
+			if status == http.StatusTooManyRequests {
+				return 1
+			}
+			if status != http.StatusAccepted {
+				t.Fatalf("stream: status %d: %s", status, body)
+			}
+			return 0
+		})
+		if rejected != 0 {
+			t.Fatal("binary stream hit backpressure at a load the protocol is sized to absorb")
+		}
+	})
+}
+
+// TestRetryAfterHelpers pins the backpressure contract's arithmetic.
+func TestRetryAfterHelpers(t *testing.T) {
+	for _, tc := range []struct {
+		in   time.Duration
+		want int
+	}{
+		{0, 1}, {-time.Second, 1}, {time.Millisecond, 1},
+		{time.Second, 1}, {1100 * time.Millisecond, 2}, {5 * time.Second, 5},
+	} {
+		if got := retryAfterSeconds(tc.in); got != tc.want {
+			t.Fatalf("retryAfterSeconds(%v) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	err := &retryableError{err: ErrRateLimited, after: 3 * time.Second}
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatal("retryableError does not unwrap")
+	}
+	if got := retryAfter(err, time.Second); got != 3*time.Second {
+		t.Fatalf("retryAfter = %v, want 3s", got)
+	}
+	if got := retryAfter(ErrBackpressure, time.Second); got != time.Second {
+		t.Fatalf("retryAfter default = %v, want 1s", got)
+	}
+}

@@ -45,6 +45,10 @@ type feed struct {
 	evicted    atomic.Bool
 	lastActive atomic.Int64
 
+	// bucket is the feed's ingest token bucket (nil when Config.IngestRate
+	// is 0). Internally synchronized; set once at feed creation.
+	bucket *tokenBucket
+
 	// --- published state, guarded by mu ----------------------------------
 	mu     sync.Mutex
 	closed []convoy.Convoy // resident history suffix: absolute indices [start, head)

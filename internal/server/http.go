@@ -5,13 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
 	"net/http"
 	"strconv"
 	"time"
 
 	convoy "repro"
-	"repro/internal/model"
 )
 
 // The wire types of the JSON API. Positions mirror model.ObjPos; convoys
@@ -34,6 +32,9 @@ type ingestRequest struct {
 
 type ingestResponse struct {
 	Accepted int `json:"accepted"`
+	// Frames is the number of binary frames decoded; only set on the K2BI
+	// paths (a JSON batch has no frames).
+	Frames int `json:"frames,omitempty"`
 }
 
 type convoyJSON struct {
@@ -52,15 +53,18 @@ type convoysResponse struct {
 	Flushed         bool         `json:"flushed"`
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-// maxIngestBody bounds one ingest request (16 MiB of JSON).
+// maxIngestBody bounds one ingest request (16 MiB, JSON or binary). The
+// sticky stream endpoint is exempt — bounding a deliberately long-lived
+// stream by bytes would just force clients to reconnect; its resource
+// bounds are per-frame caps and admission control.
 const maxIngestBody = 16 << 20
 
 // maxLongPoll caps the wait parameter of the convoys endpoint.
 const maxLongPoll = 60 * time.Second
+
+// maxLiveLimit caps the limit parameter of the live convoys endpoint,
+// matching archive.MaxLimit so both query families speak one vocabulary.
+const maxLiveLimit = 1000
 
 // route is one registered endpoint. The table (not the mux) is the single
 // source of truth for what the server serves: Handler builds the mux from
@@ -73,7 +77,11 @@ type route struct {
 
 func (s *Server) routes() []route {
 	return []route{
+		{"POST /v1/feeds/{feed}/ingest", s.handleIngest},
+		// Alias: the ingest endpoint's original spelling. Same handler, same
+		// negotiation; kept so existing clients never break.
 		{"POST /v1/feeds/{feed}/snapshots", s.handleIngest},
+		{"POST /v1/feeds/{feed}/ingest/stream", s.handleIngestStream},
 		{"GET /v1/feeds/{feed}/convoys", s.handleConvoys},
 		{"POST /v1/feeds/{feed}/flush", s.handleFlush},
 		{"GET /v1/query/time", s.handleQueryTime},
@@ -98,15 +106,17 @@ func (s *Server) Routes() []string {
 
 // Handler returns the convoyd HTTP API:
 //
-//	POST /v1/feeds/{feed}/snapshots   JSON ingest (batch of snapshots)
-//	GET  /v1/feeds/{feed}/convoys     closed convoys since ?cursor, long-poll via ?wait
-//	POST /v1/feeds/{feed}/flush       end the feed, return the full maximal set
-//	GET  /v1/query/time               archived convoys overlapping [?from, ?to]
-//	GET  /v1/query/object             archived convoys containing ?oid
-//	GET  /v1/query/convoys            archived convoys by ?min_size / ?min_dur
-//	POST /v1/admin/retention          expire archived convoys ending before a tick
-//	GET  /v1/stats                    shard queues + per-feed counters + archive
-//	GET  /healthz                     liveness
+//	POST /v1/feeds/{feed}/ingest          ingest (JSON or K2BI binary, by Content-Type)
+//	POST /v1/feeds/{feed}/snapshots       alias of /ingest (the original spelling)
+//	POST /v1/feeds/{feed}/ingest/stream   sticky binary ingest: many K2BI frames, one connection
+//	GET  /v1/feeds/{feed}/convoys         closed convoys since ?cursor, long-poll via ?wait
+//	POST /v1/feeds/{feed}/flush           end the feed, return the full maximal set
+//	GET  /v1/query/time                   archived convoys overlapping [?from, ?to]
+//	GET  /v1/query/object                 archived convoys containing ?oid
+//	GET  /v1/query/convoys                archived convoys by ?min_size / ?min_dur
+//	POST /v1/admin/retention              expire archived convoys ending before a tick
+//	GET  /v1/stats                        shard queues + per-feed counters + archive + admission
+//	GET  /healthz                         liveness
 //
 // docs/API.md is the request/response reference for all of them.
 func (s *Server) Handler() http.Handler {
@@ -117,34 +127,33 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// handleIngest serves one ingest batch, negotiating the wire format on
+// Content-Type: application/json (or none) takes the original JSON body,
+// application/x-k2bi takes a sequence of K2BI binary frames. Anything else
+// is 415.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("feed")
 	if name == "" {
-		writeError(w, http.StatusBadRequest, "empty feed name")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "empty feed name")
 		return
 	}
-	var req ingestRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad ingest body: "+err.Error())
+	var batch []tick
+	var frames int
+	var aerr *apiError
+	binary, ok := negotiateIngest(w, r)
+	if !ok {
 		return
 	}
-	if len(req.Snapshots) == 0 {
-		writeError(w, http.StatusBadRequest, "no snapshots in batch")
-		return
+	body := http.MaxBytesReader(w, r.Body, maxIngestBody)
+	if binary {
+		batch, aerr = parseBinaryBatch(body)
+		frames = len(batch)
+	} else {
+		batch, aerr = parseJSONBatch(body)
 	}
-	batch := make([]tick, 0, len(req.Snapshots))
-	for _, sn := range req.Snapshots {
-		pos := make([]model.ObjPos, 0, len(sn.Positions))
-		for _, p := range sn.Positions {
-			if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
-				writeError(w, http.StatusBadRequest,
-					fmt.Sprintf("non-finite coordinate for oid %d at t=%d", p.OID, sn.T))
-				return
-			}
-			pos = append(pos, model.ObjPos{OID: p.OID, X: p.X, Y: p.Y})
-		}
-		batch = append(batch, tick{t: sn.T, pos: pos})
+	if aerr != nil {
+		aerr.write(w)
+		return
 	}
 	f, err := s.feedFor(name, true)
 	if err != nil {
@@ -152,15 +161,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if _, flushed := f.snapshotStats(); flushed {
-		writeError(w, http.StatusConflict, "feed already flushed")
+		writeError(w, http.StatusConflict, codeFeedFlushed, "feed already flushed")
 		return
 	}
-	err = s.enqueue(r.Context(), shardMsg{feed: f, snaps: batch})
+	err = s.admitIngest(r.Context(), f, batch)
 	if errors.Is(err, ErrFeedEvicted) {
 		// The feed was TTL-evicted between lookup and enqueue; start a
 		// fresh feed lifecycle under the same name and retry once.
 		if f, err = s.feedFor(name, true); err == nil {
-			err = s.enqueue(r.Context(), shardMsg{feed: f, snaps: batch})
+			err = s.admitIngest(r.Context(), f, batch)
 		}
 	}
 	if err != nil {
@@ -169,7 +178,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
-	json.NewEncoder(w).Encode(ingestResponse{Accepted: len(batch)})
+	json.NewEncoder(w).Encode(ingestResponse{Accepted: len(batch), Frames: frames})
 }
 
 func (s *Server) handleConvoys(w http.ResponseWriter, r *http.Request) {
@@ -179,14 +188,30 @@ func (s *Server) handleConvoys(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if f == nil {
-		writeError(w, http.StatusNotFound, "unknown feed")
+		writeError(w, http.StatusNotFound, codeUnknownFeed, "unknown feed")
 		return
 	}
 	var cursor int
 	if c := r.URL.Query().Get("cursor"); c != "" {
 		cursor, err = strconv.Atoi(c)
 		if err != nil || cursor < 0 {
-			writeError(w, http.StatusBadRequest, "bad cursor")
+			writeError(w, http.StatusBadRequest, codeBadCursor, "bad cursor")
+			return
+		}
+	}
+	// limit caps one response page, sharing the archive endpoints'
+	// vocabulary (same name, same 1000 cap). 0 (the default) keeps the
+	// original behavior: everything from the cursor to the head.
+	var limit int
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		limit, err = strconv.Atoi(ls)
+		if err != nil || limit <= 0 {
+			writeError(w, http.StatusBadRequest, codeBadParam, "bad limit")
+			return
+		}
+		if limit > maxLiveLimit {
+			writeError(w, http.StatusBadRequest, codeBadParam,
+				fmt.Sprintf("limit %d exceeds the maximum %d", limit, maxLiveLimit))
 			return
 		}
 	}
@@ -194,7 +219,7 @@ func (s *Server) handleConvoys(w http.ResponseWriter, r *http.Request) {
 	if ws := r.URL.Query().Get("wait"); ws != "" {
 		wait, err = time.ParseDuration(ws)
 		if err != nil || wait < 0 {
-			writeError(w, http.StatusBadRequest, "bad wait duration")
+			writeError(w, http.StatusBadRequest, codeBadParam, "bad wait duration")
 			return
 		}
 		if wait > maxLongPoll {
@@ -202,7 +227,7 @@ func (s *Server) handleConvoys(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !s.touchFeed(f) {
-		writeError(w, http.StatusGone, ErrFeedEvicted.Error())
+		writeError(w, http.StatusGone, codeFeedEvicted, ErrFeedEvicted.Error())
 		return
 	}
 	if wait > 0 {
@@ -222,7 +247,7 @@ func (s *Server) handleConvoys(w http.ResponseWriter, r *http.Request) {
 		// it can never sleep through its own eviction.
 		if f.evicted.Load() {
 			f.mu.Unlock()
-			writeError(w, http.StatusGone, ErrFeedEvicted.Error())
+			writeError(w, http.StatusGone, codeFeedEvicted, ErrFeedEvicted.Error())
 			return
 		}
 		head, flushed := f.head(), f.flushed
@@ -233,7 +258,7 @@ func (s *Server) handleConvoys(w http.ResponseWriter, r *http.Request) {
 			// (or replay the persisted log for the full history).
 			start := f.start
 			f.mu.Unlock()
-			writeError(w, http.StatusGone, fmt.Sprintf(
+			writeError(w, http.StatusGone, codeCursorGone, fmt.Sprintf(
 				"cursor %d predates truncated history; live cursor domain is [%d,%d)", cursor, start, head))
 			return
 		}
@@ -245,19 +270,29 @@ func (s *Server) handleConvoys(w http.ResponseWriter, r *http.Request) {
 			// seen — 410 makes the domain reset explicit instead.
 			start := f.start
 			f.mu.Unlock()
-			writeError(w, http.StatusGone, fmt.Sprintf(
+			writeError(w, http.StatusGone, codeCursorGone, fmt.Sprintf(
 				"cursor %d is beyond this feed's history; live cursor domain is [%d,%d)", cursor, start, head))
 			return
 		}
 		if head > cursor || flushed || wait == 0 || !time.Now().Before(deadline) {
 			lo := cursor - f.start
-			out := make([]convoyJSON, 0, len(f.closed)-lo)
-			for _, c := range f.closed[lo:] {
+			avail := f.closed[lo:]
+			if limit > 0 && len(avail) > limit {
+				avail = avail[:limit]
+			}
+			out := make([]convoyJSON, 0, len(avail))
+			for _, c := range avail {
 				out = append(out, toConvoyJSON(c))
 			}
+			next := cursor + len(out)
 			tb := f.start
 			f.mu.Unlock()
-			writeJSON(w, convoysResponse{Cursor: head, TruncatedBefore: tb, Convoys: out, Flushed: flushed})
+			// A truncated page must not report flushed: a client that stops
+			// polling at flushed=true would miss the convoys past the limit.
+			writeJSON(w, convoysResponse{
+				Cursor: next, TruncatedBefore: tb, Convoys: out,
+				Flushed: flushed && next == head,
+			})
 			return
 		}
 		ch := f.notify
@@ -281,7 +316,7 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if f == nil {
-		writeError(w, http.StatusNotFound, "unknown feed")
+		writeError(w, http.StatusNotFound, codeUnknownFeed, "unknown feed")
 		return
 	}
 	reply := make(chan []convoy.Convoy, 1)
@@ -321,26 +356,27 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(errorResponse{Error: msg})
-}
-
 // writeServerError maps sentinel errors to HTTP statuses. A canceled or
 // timed-out request context writes nothing: the client is gone, and the
 // point of threading the context into enqueue is to release the handler
-// goroutine promptly, not to craft a response nobody reads.
+// goroutine promptly, not to craft a response nobody reads. Every 429
+// carries Retry-After — the explicit backpressure contract.
 func writeServerError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-	case errors.Is(err, ErrBackpressure), errors.Is(err, ErrFeedLimit):
-		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrBackpressure):
+		writeRetryError(w, codeQueueFull, err.Error(), retryAfter(err, time.Second))
+	case errors.Is(err, ErrRateLimited):
+		writeRetryError(w, codeRateLimited, err.Error(), retryAfter(err, time.Second))
+	case errors.Is(err, ErrBreakerOpen):
+		writeRetryError(w, codeBreakerOpen, err.Error(), retryAfter(err, time.Second))
+	case errors.Is(err, ErrFeedLimit):
+		writeRetryError(w, codeFeedLimit, err.Error(), retryAfter(err, time.Second))
 	case errors.Is(err, ErrFeedEvicted):
-		writeError(w, http.StatusGone, err.Error())
+		writeError(w, http.StatusGone, codeFeedEvicted, err.Error())
 	case errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		writeError(w, http.StatusServiceUnavailable, codeShuttingDown, err.Error())
 	default:
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
 	}
 }

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+// The ingest wire-path benchmarks: identical batches (16 ticks × 512
+// objects) through parseJSONBatch and parseBinaryBatch, the exact code the
+// negotiated handler runs between the socket and the shard queue. The
+// acceptance bar for the binary protocol is ≥5× objects/sec at equal CPU.
+
+const (
+	benchTicks   = 16
+	benchObjects = 512
+)
+
+func benchBatch() []snapshotJSON {
+	rng := rand.New(rand.NewSource(42))
+	snaps := make([]snapshotJSON, benchTicks)
+	for i := range snaps {
+		snaps[i].T = int32(i)
+		snaps[i].Positions = make([]positionJSON, benchObjects)
+		for j := range snaps[i].Positions {
+			snaps[i].Positions[j] = positionJSON{
+				OID: int32(j), X: rng.Float64() * 1000, Y: rng.Float64() * 1000,
+			}
+		}
+	}
+	return snaps
+}
+
+func BenchmarkIngestJSON(b *testing.B) {
+	body, err := json.Marshal(ingestRequest{Snapshots: benchBatch()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch, aerr := parseJSONBatch(bytes.NewReader(body))
+		if aerr != nil || len(batch) != benchTicks {
+			b.Fatalf("parse: %v (%d ticks)", aerr, len(batch))
+		}
+	}
+	b.ReportMetric(float64(b.N*benchTicks*benchObjects)/b.Elapsed().Seconds(), "objs/s")
+}
+
+func BenchmarkIngestBinary(b *testing.B) {
+	var body []byte
+	for _, sn := range benchBatch() {
+		pos := make([]model.ObjPos, len(sn.Positions))
+		for j, p := range sn.Positions {
+			pos[j] = model.ObjPos{OID: p.OID, X: p.X, Y: p.Y}
+		}
+		var err error
+		if body, err = storage.AppendBatchFrame(body, sn.T, pos); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch, aerr := parseBinaryBatch(bytes.NewReader(body))
+		if aerr != nil || len(batch) != benchTicks {
+			b.Fatalf("parse: %v (%d ticks)", aerr, len(batch))
+		}
+	}
+	b.ReportMetric(float64(b.N*benchTicks*benchObjects)/b.Elapsed().Seconds(), "objs/s")
+}

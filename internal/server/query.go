@@ -45,20 +45,20 @@ func (s *Server) queryParams(w http.ResponseWriter, r *http.Request) (archive.Qu
 		if v := get.Get(name); v != "" {
 			n, err := strconv.Atoi(v)
 			if err != nil || n < 0 {
-				writeError(w, http.StatusBadRequest, "bad "+name)
+				writeError(w, http.StatusBadRequest, codeBadParam, "bad "+name)
 				return archive.Query{}, false
 			}
 			*dst = n
 		}
 	}
 	if v := get.Get("limit"); v != "" && q.Limit > archive.MaxLimit {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, http.StatusBadRequest, codeBadParam,
 			fmt.Sprintf("limit %d exceeds the maximum %d", q.Limit, archive.MaxLimit))
 		return archive.Query{}, false
 	}
 	cur, err := archive.ParseCursor(get.Get("cursor"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad cursor")
+		writeError(w, http.StatusBadRequest, codeBadCursor, "bad cursor")
 		return archive.Query{}, false
 	}
 	q.Cursor = cur
@@ -83,7 +83,7 @@ func parseTick(get map[string][]string, name string, def int32) (int32, error) {
 func (s *Server) queryArchive(w http.ResponseWriter,
 	run func() (archive.Result, error)) {
 	if s.arch == nil {
-		writeError(w, http.StatusNotImplemented,
+		writeError(w, http.StatusNotImplemented, codeNoArchive,
 			"historical queries need an archive; start convoyd with -archive-dir")
 		return
 	}
@@ -92,7 +92,7 @@ func (s *Server) queryArchive(w http.ResponseWriter,
 		// Every user-input error is rejected during parameter parsing, so
 		// an error out of the archive itself is internal (a records-file
 		// or index read failure), never the caller's fault.
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
 		return
 	}
 	out := queryResponse{
@@ -128,7 +128,7 @@ func (s *Server) handleQueryTime(w http.ResponseWriter, r *http.Request) {
 		var to int32
 		if to, err = parseTick(get, "to", math.MaxInt32); err == nil {
 			if from > to {
-				writeError(w, http.StatusBadRequest,
+				writeError(w, http.StatusBadRequest, codeBadParam,
 					fmt.Sprintf("empty interval [%d,%d]", from, to))
 				return
 			}
@@ -136,7 +136,7 @@ func (s *Server) handleQueryTime(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	writeError(w, http.StatusBadRequest, err.Error())
+	writeError(w, http.StatusBadRequest, codeBadParam, err.Error())
 }
 
 // handleQueryObject serves GET /v1/query/object: archived convoys
@@ -148,12 +148,12 @@ func (s *Server) handleQueryObject(w http.ResponseWriter, r *http.Request) {
 	}
 	v := r.URL.Query().Get("oid")
 	if v == "" {
-		writeError(w, http.StatusBadRequest, "missing oid")
+		writeError(w, http.StatusBadRequest, codeBadParam, "missing oid")
 		return
 	}
 	oid, err := strconv.ParseInt(v, 10, 32)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad oid")
+		writeError(w, http.StatusBadRequest, codeBadParam, "bad oid")
 		return
 	}
 	s.queryArchive(w, func() (archive.Result, error) { return s.arch.QueryObject(int32(oid), q) })
@@ -197,23 +197,23 @@ const maxRetentionBody = 1 << 16
 // log re-drops everything below the durable watermark.
 func (s *Server) handleRetention(w http.ResponseWriter, r *http.Request) {
 	if s.arch == nil {
-		writeError(w, http.StatusNotImplemented,
+		writeError(w, http.StatusNotImplemented, codeNoArchive,
 			"retention needs an archive; start convoyd with -archive-dir")
 		return
 	}
 	if s.archBroken.Load() {
-		writeError(w, http.StatusInternalServerError, "archive disabled by an earlier write error")
+		writeError(w, http.StatusInternalServerError, codeInternal, "archive disabled by an earlier write error")
 		return
 	}
 	var req retentionRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRetentionBody)).Decode(&req); err != nil || req.Before == nil {
-		writeError(w, http.StatusBadRequest, `body must be {"before": <tick>}`)
+		writeError(w, http.StatusBadRequest, codeBadParam, `body must be {"before": <tick>}`)
 		return
 	}
 	expired, err := s.arch.Expire(*req.Before)
 	if err != nil {
 		s.archBroken.Store(true)
-		writeError(w, http.StatusInternalServerError, "retention: "+err.Error())
+		writeError(w, http.StatusInternalServerError, codeInternal, "retention: "+err.Error())
 		return
 	}
 	st := s.arch.Stats()

@@ -129,6 +129,23 @@ type Config struct {
 	// It bounds the cost of a page whose filter rejects almost every
 	// entry.
 	QueryBudget int
+	// IngestRate, when positive, rate-limits each feed's ingest to this
+	// many snapshots per second via a token bucket; excess is shed with
+	// 429 rate_limited + Retry-After before it reaches the shard queue.
+	// 0 disables per-feed rate limiting.
+	IngestRate float64
+	// IngestBurst is the token bucket's capacity in snapshots (default
+	// 2×IngestRate, at least 1): the largest burst one feed may push at
+	// once after idling.
+	IngestBurst int
+	// BreakerThreshold, when positive, arms a circuit breaker per shard:
+	// after this many consecutive queue-full rejections the shard's ingest
+	// is shed outright with 429 breaker_open for BreakerCooldown, then a
+	// single probe decides whether to close it again. 0 disables breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds before probing
+	// (default 1s).
+	BreakerCooldown time.Duration
 	// Retention, when positive, bounds the archive's history: at every
 	// archive flush tick, convoys whose End tick has fallen more than
 	// Retention ticks behind the newest archived End are expired
@@ -162,6 +179,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FeedTTL > 0 && c.EvictEvery <= 0 {
 		c.EvictEvery = max(c.FeedTTL/4, 10*time.Millisecond)
+	}
+	if c.IngestRate > 0 && c.IngestBurst <= 0 {
+		c.IngestBurst = max(int(2*c.IngestRate), 1)
+	}
+	if c.BreakerThreshold > 0 && c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
 	}
 	return c
 }
@@ -210,6 +233,14 @@ type Server struct {
 
 	evictStop chan struct{}
 	evictDone chan struct{}
+
+	// Admission control (see admission.go): one breaker per shard (nil
+	// when Config.BreakerThreshold is 0) and the lifetime shed counters
+	// exposed by /v1/stats.
+	breakers        []*breaker
+	rateLimited     atomic.Int64
+	breakerRejected atomic.Int64
+	queueFull       atomic.Int64
 
 	evictedTotal   atomic.Int64 // feeds evicted over the server's lifetime
 	truncatedTotal atomic.Int64 // convoys truncated from memory over the server's lifetime
@@ -267,6 +298,12 @@ func New(cfg Config) (*Server, error) {
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
 		s.shards[i] = &shard{id: i, in: make(chan shardMsg, cfg.QueueLen), srv: s}
+	}
+	if cfg.BreakerThreshold > 0 {
+		s.breakers = make([]*breaker, cfg.Shards)
+		for i := range s.breakers {
+			s.breakers[i] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		}
 	}
 	s.workers = pool.Go(cfg.Shards, func(i int) { s.shards[i].run() })
 	if s.sink != nil {
@@ -355,6 +392,7 @@ func (s *Server) recover() error {
 			sink.Close()
 			return fmt.Errorf("server: recover feed %q: %w", name, err)
 		}
+		f.bucket = s.newBucket(now)
 		f.pubSeen = r.keys
 		f.start, f.persisted, f.durable = r.count, r.count, r.count
 		f.stats.ClosedTotal = int64(r.count)
@@ -515,6 +553,7 @@ func (s *Server) feedFor(name string, create bool) (*feed, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: feed %q: %w", name, err)
 	}
+	f.bucket = s.newBucket(time.Now().UnixNano())
 	if head, ok := s.tombs[name]; ok {
 		// Continue the evicted predecessor's cursor domain: everything it
 		// published stays 410 (truncated) rather than being shadowed by
@@ -572,6 +611,15 @@ func (s *Server) enqueue(ctx context.Context, msg shardMsg) error {
 	}
 }
 
+// newBucket builds a feed's ingest token bucket, or nil when per-feed rate
+// limiting is off.
+func (s *Server) newBucket(now int64) *tokenBucket {
+	if s.cfg.IngestRate <= 0 {
+		return nil
+	}
+	return newTokenBucket(s.cfg.IngestRate, s.cfg.IngestBurst, now)
+}
+
 // touchFeed refreshes a feed's activity clock for TTL purposes and reports
 // whether the feed is still live. The touch happens under the read lock so
 // it is mutually exclusive with the eviction sweep's revalidation (which
@@ -597,6 +645,9 @@ type Stats struct {
 	Archive *ArchiveStats `json:"archive,omitempty"`
 	// SinkBroken reports that persistence was disabled by a write error.
 	SinkBroken bool `json:"sink_broken,omitempty"`
+	// Admission reports how often each ingest-shedding mechanism fired
+	// (see admission.go).
+	Admission AdmissionStats `json:"admission"`
 }
 
 // ArchiveStats is the archive section of /v1/stats: the archive's own
@@ -621,6 +672,9 @@ type ShardStats struct {
 	QueueLen int `json:"queue_len"`
 	QueueCap int `json:"queue_cap"`
 	Feeds    int `json:"feeds"`
+	// BreakerState is the shard circuit breaker's state (closed / open /
+	// half_open); absent when breakers are disabled.
+	BreakerState string `json:"breaker_state,omitempty"`
 }
 
 // MemoryStats summarises what bounds the server's resident footprint: how
@@ -640,9 +694,17 @@ type MemoryStats struct {
 func (s *Server) Stats() Stats {
 	st := Stats{Feeds: map[string]FeedStats{}, SinkBroken: s.sinkBroken.Load()}
 	st.Shards = make([]ShardStats, len(s.shards))
+	now := time.Now()
 	for i, sh := range s.shards {
 		st.Shards[i] = ShardStats{QueueLen: len(sh.in), QueueCap: cap(sh.in)}
+		if s.breakers != nil {
+			st.Shards[i].BreakerState = s.breakers[i].stateName(now)
+			st.Admission.BreakerTripsTotal += s.breakers[i].trips.Load()
+		}
 	}
+	st.Admission.RateLimitedTotal = s.rateLimited.Load()
+	st.Admission.BreakerRejectedTotal = s.breakerRejected.Load()
+	st.Admission.QueueFullTotal = s.queueFull.Load()
 	s.mu.RLock()
 	for name, f := range s.feeds {
 		fs, _ := f.snapshotStats()
