@@ -66,6 +66,8 @@ func main() {
 		m            = flag.Int("m", 3, "minimum convoy size (objects)")
 		k            = flag.Int("k", 4, "minimum convoy length (ticks)")
 		eps          = flag.Float64("eps", 1.5, "clustering radius")
+		flockR       = flag.Float64("flock-r", 0, "disk radius for flock-pattern feeds (0 = eps)")
+		mcTheta      = flag.Float64("mc-theta", 0, "minimum consecutive Jaccard overlap for moving-cluster feeds (0 = 0.5)")
 		shards       = flag.Int("shards", 8, "shard actor count")
 		queue        = flag.Int("queue", 128, "per-shard ingest queue capacity (batches)")
 		window       = flag.Int("window", 0, "reordering window in ticks (0 = strict in-order)")
@@ -136,6 +138,8 @@ func main() {
 
 	srv, err := server.New(server.Config{
 		Params:       convoy.Params{M: *m, K: *k, Eps: *eps},
+		FlockR:       *flockR,
+		MCTheta:      *mcTheta,
 		Shards:       *shards,
 		QueueLen:     *queue,
 		Window:       int32(*window),

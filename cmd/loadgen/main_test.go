@@ -1,0 +1,96 @@
+package main
+
+import (
+	"testing"
+
+	convoy "repro"
+)
+
+func TestParseMix(t *testing.T) {
+	cycle, err := parseMix("convoy=2,flock=1,mc=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []convoy.Pattern{convoy.PatternConvoy, convoy.PatternConvoy, convoy.PatternFlock, convoy.PatternMC}
+	if len(cycle) != len(want) {
+		t.Fatalf("cycle %v, want %v", cycle, want)
+	}
+	for i := range want {
+		if cycle[i] != want[i] {
+			t.Fatalf("cycle %v, want %v", cycle, want)
+		}
+	}
+	if _, err := parseMix("swarm=1"); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+	if _, err := parseMix("convoy=0"); err == nil {
+		t.Fatal("all-zero weights accepted")
+	}
+}
+
+func TestParseFlagsValidation(t *testing.T) {
+	if _, err := parseFlags([]string{"-ooo", "0.5", "-window", "0"}); err == nil {
+		t.Fatal("-ooo without a reorder window accepted")
+	}
+	if _, err := parseFlags([]string{"-burst", "sine"}); err == nil {
+		t.Fatal("unknown burst profile accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	q := summarize([]float64{40, 10, 30, 20})
+	if q.Count != 4 || q.P50 != 20 || q.Max != 40 {
+		t.Fatalf("quantiles %+v", q)
+	}
+	if z := summarize(nil); z.Count != 0 || z.Max != 0 {
+		t.Fatalf("empty quantiles %+v", z)
+	}
+}
+
+// TestLoadgenSmoke runs the full pipeline at miniature scale against an
+// in-process server: all three pattern families, out-of-order injection,
+// square-wave bursts — the artifact must come back with ingest and
+// close-lag samples, correct per-pattern feed counts, and closed patterns
+// in every family.
+func TestLoadgenSmoke(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-feeds", "3", "-objects", "30", "-ticks", "40", "-batch", "6",
+		"-pattern-mix", "convoy=1,flock=1,mc=1", "-ooo", "0.25", "-window", "2",
+		"-rate", "200", "-burst", "square", "-burst-period", "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := art.Loadgen
+	if rep.Ingest.Count == 0 || rep.Ingest.P50 <= 0 || rep.Ingest.P99 < rep.Ingest.P50 {
+		t.Fatalf("ingest quantiles: %+v", rep.Ingest)
+	}
+	if rep.ConvoysClosed == 0 || rep.CloseLag.Count == 0 {
+		t.Fatalf("no close-lag samples: closed=%d lag=%+v", rep.ConvoysClosed, rep.CloseLag)
+	}
+	if rep.TicksSent != 3*40 {
+		t.Fatalf("ticks_sent = %d, want %d", rep.TicksSent, 3*40)
+	}
+	if rep.PointsSent == 0 {
+		t.Fatal("no points sent")
+	}
+	for _, pat := range []string{"convoy", "flock", "mc"} {
+		pc, ok := rep.Patterns[pat]
+		if !ok || pc.LiveFeeds != 1 {
+			t.Fatalf("pattern %s: %+v (patterns: %+v)", pat, pc, rep.Patterns)
+		}
+		if pc.ClosedTotal == 0 {
+			t.Fatalf("pattern %s closed nothing — load data too sparse", pat)
+		}
+	}
+	if rep.PeakRSSBytes == 0 {
+		t.Log("peak_rss_bytes unavailable (no /proc)") // best-effort field
+	}
+	if rep.WallNs <= 0 {
+		t.Fatalf("wall_ns = %d", rep.WallNs)
+	}
+}

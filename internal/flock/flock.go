@@ -30,19 +30,60 @@ type Config struct {
 // Sweep mines maximal flocks with the classical timestamp sweep
 // (Gudmundsson & van Kreveld / Vieira et al.): candidate disks at every
 // timestamp, CMC-style intersection across time. It is the baseline and
-// oracle for MineK2Hop.
+// oracle for MineK2Hop, and a thin loop over the streaming Miner, so the
+// batch sweep and the convoyd feed mode share one code path.
 func Sweep(store storage.Store, cfg Config) ([]Flock, error) {
 	ts, te := store.TimeRange()
-	mn := cmc.NewMiner(cfg.M, cfg.K)
+	mn := NewMiner(cfg)
 	for t := ts; t <= te; t++ {
 		snap, err := store.Snapshot(t)
 		if err != nil {
 			return nil, fmt.Errorf("flock: snapshot %d: %w", t, err)
 		}
-		mn.Step(t, DiskGroups(snap, cfg.R, cfg.M))
+		mn.Step(t, snap)
 	}
 	return mn.Finish(), nil
 }
+
+// Miner is the incremental flock miner fed one snapshot at a time: each
+// Step covers the snapshot with maximal candidate disks (DiskGroups) and
+// feeds them to the shared dense-set sweep engine (cmc.Miner), which does
+// the cross-tick intersection, domination pruning and emission. It mirrors
+// cmc.Miner's streaming surface; gaps in the timestamp sequence close every
+// open candidate, exactly as the sweep engine defines. Not safe for
+// concurrent use.
+type Miner struct {
+	cfg Config
+	mn  *cmc.Miner
+}
+
+// NewMiner creates a streaming flock miner for the given parameters.
+func NewMiner(cfg Config) *Miner {
+	return &Miner{cfg: cfg, mn: cmc.NewMiner(cfg.M, cfg.K)}
+}
+
+// Step feeds the snapshot of timestamp t. Timestamps must be strictly
+// increasing (a violation panics, like cmc.Miner.Step).
+func (m *Miner) Step(t int32, snap []model.ObjPos) {
+	m.mn.Step(t, DiskGroups(snap, m.cfg.R, m.cfg.M))
+}
+
+// Drain returns the flocks accepted into the result set since the last
+// Drain, in emission order. Like cmc.Miner.Drain, a drained flock may later
+// be superseded by a longer/larger one; Drain never retracts.
+func (m *Miner) Drain() []Flock { return m.mn.Drain() }
+
+// Finish flushes candidates still alive at the final timestamp and returns
+// all mined maximal flocks in canonical order — exactly what Sweep returns
+// over the same tick sequence.
+func (m *Miner) Finish() []Flock { return m.mn.Finish() }
+
+// Last returns the most recently stepped timestamp; ok is false before the
+// first Step (and after a Reset).
+func (m *Miner) Last() (t int32, ok bool) { return m.mn.Last() }
+
+// Reset returns the miner to its initial state, keeping the parameters.
+func (m *Miner) Reset() { m.mn.Reset() }
 
 // MineK2Hop mines maximal flocks with the k/2-hop pipeline: disks are
 // computed in full only at benchmark points; candidates are the pairwise

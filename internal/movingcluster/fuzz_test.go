@@ -1,0 +1,195 @@
+package movingcluster
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// fuzzTick is one decoded fuzz step: a timestamp and its cluster set.
+type fuzzTick struct {
+	t        int32
+	clusters []model.ObjSet
+}
+
+// decodeFuzzTicks turns a fuzz byte stream into a strictly increasing tick
+// sequence with occasional gaps. Per tick, one header byte: bits 0–1 are the
+// cluster count (0–3), bit 2 inserts a 2-tick gap before the tick. Each
+// cluster is one bitmask byte over an 8-object universe (a zero mask becomes
+// {0}, keeping clusters nonempty as DBSCAN guarantees) — a tiny universe so
+// consecutive ticks overlap often and the Jaccard chaining actually fires.
+func decodeFuzzTicks(data []byte) []fuzzTick {
+	var out []fuzzTick
+	t := int32(0)
+	for i := 0; i < len(data) && len(out) < 64; {
+		h := data[i]
+		i++
+		if h&4 != 0 {
+			t += 2
+		}
+		n := int(h & 3)
+		var clusters []model.ObjSet
+		for c := 0; c < n && i < len(data); c++ {
+			mask := data[i]
+			i++
+			if mask == 0 {
+				mask = 1
+			}
+			var ids []int32
+			for b := int32(0); b < 8; b++ {
+				if mask&(1<<b) != 0 {
+					ids = append(ids, b)
+				}
+			}
+			clusters = append(clusters, model.NewObjSet(ids...))
+		}
+		out = append(out, fuzzTick{t: t, clusters: clusters})
+		t++
+	}
+	return out
+}
+
+// referenceChain is an independent O(chains × clusters) transliteration of
+// the MC2 chaining spec: per tick, candidate (chain, cluster) pairs with
+// Jaccard ≥ θ are matched greedily in overlap-descending order (stable on
+// enumeration order for ties), each chain extends to at most one cluster
+// and vice versa, unmatched chains of length ≥ K emit in active order, and
+// a timestamp discontinuity closes everything. It shares no code with
+// Miner.StepClusters beyond the Jaccard helper.
+func referenceChain(ticks []fuzzTick, theta float64, k int) []MovingCluster {
+	type refChain struct {
+		start int32
+		cls   []model.ObjSet
+	}
+	var active []refChain
+	var out []MovingCluster
+	emit := func(c refChain) {
+		if len(c.cls) >= k {
+			out = append(out, MovingCluster{Start: c.start, Clusters: c.cls})
+		}
+	}
+	last, started := int32(0), false
+	for _, tk := range ticks {
+		if started && tk.t != last+1 {
+			for _, c := range active {
+				emit(c)
+			}
+			active = nil
+		}
+		started, last = true, tk.t
+		type cand struct {
+			ci, cj int
+			ov     float64
+		}
+		var cands []cand
+		for ci, ch := range active {
+			tail := ch.cls[len(ch.cls)-1]
+			for cj, cl := range tk.clusters {
+				if ov := Jaccard(tail, cl); ov >= theta {
+					cands = append(cands, cand{ci: ci, cj: cj, ov: ov})
+				}
+			}
+		}
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].ov > cands[j].ov })
+		usedChain := make([]bool, len(active))
+		usedCluster := make([]bool, len(tk.clusters))
+		var next []refChain
+		for _, c := range cands {
+			if usedChain[c.ci] || usedCluster[c.cj] {
+				continue
+			}
+			usedChain[c.ci] = true
+			usedCluster[c.cj] = true
+			ch := active[c.ci]
+			ch.cls = append(ch.cls[:len(ch.cls):len(ch.cls)], tk.clusters[c.cj])
+			next = append(next, ch)
+		}
+		for ci, ch := range active {
+			if !usedChain[ci] {
+				emit(ch)
+			}
+		}
+		for cj, cl := range tk.clusters {
+			if !usedCluster[cj] {
+				next = append(next, refChain{start: tk.t, cls: []model.ObjSet{cl}})
+			}
+		}
+		active = next
+	}
+	for _, c := range active {
+		emit(c)
+	}
+	return out
+}
+
+func keysOf(mcs []MovingCluster) string {
+	var sb strings.Builder
+	for _, mc := range mcs {
+		sb.WriteString(mc.Key())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// FuzzMovingClusterChain drives Miner.StepClusters over arbitrary tick
+// sequences and checks it against the independent reference plus the
+// chaining invariants: every emitted pattern is ≥ K ticks long, all its
+// consecutive overlaps reach θ, its lifespan matches its cluster count, and
+// incremental Drain accumulation equals the final Finish set.
+func FuzzMovingClusterChain(f *testing.F) {
+	f.Add([]byte{0x02, 0x07, 0x0e, 0x02, 0x07, 0x1c, 0x02, 0x0e, 0x38}, uint8(5), uint8(2))
+	f.Add([]byte{0x01, 0xff, 0x01, 0xff, 0x01, 0xff, 0x05, 0xff, 0x01, 0xff}, uint8(9), uint8(3))
+	f.Add([]byte{0x03, 0x03, 0x0c, 0x30, 0x03, 0x03, 0x0c, 0x30, 0x03, 0x06, 0x18, 0x60}, uint8(3), uint8(1))
+	f.Add([]byte{0x00, 0x01, 0x81, 0x02, 0xc3, 0x3c, 0x06, 0x66, 0x01, 0x0f}, uint8(1), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, thetaN, kByte uint8) {
+		theta := float64(thetaN%10+1) / 10 // (0, 1]
+		k := int(kByte%4) + 1
+		ticks := decodeFuzzTicks(data)
+
+		mn := NewMiner(Config{Theta: theta, K: k})
+		var drained []MovingCluster
+		for _, tk := range ticks {
+			mn.StepClusters(tk.t, tk.clusters)
+			drained = append(drained, mn.Drain()...)
+		}
+		fin := mn.Finish()
+
+		// Drain never retracts or reorders: the incremental drains are a
+		// prefix of the final set.
+		if len(fin) < len(drained) {
+			t.Fatalf("Finish returned %d patterns, fewer than the %d drained", len(fin), len(drained))
+		}
+		if got, want := keysOf(fin[:len(drained)]), keysOf(drained); got != want {
+			t.Fatalf("drained patterns are not a prefix of Finish:\ndrained:\n%s\nfinish prefix:\n%s", want, got)
+		}
+
+		// Byte-identity with the independent reference chaining.
+		want := referenceChain(ticks, theta, k)
+		if got, wantS := keysOf(fin), keysOf(want); got != wantS {
+			t.Fatalf("theta=%g k=%d: miner and reference diverge:\nminer:\n%s\nreference:\n%s", theta, k, got, wantS)
+		}
+
+		// Structural invariants of every emitted pattern.
+		for _, mc := range fin {
+			if mc.Len() < k {
+				t.Fatalf("pattern %s shorter than K=%d", mc.Key(), k)
+			}
+			if mc.End()-mc.Start+1 != int32(mc.Len()) {
+				t.Fatalf("pattern %s: lifespan and cluster count disagree", mc.Key())
+			}
+			for i := 1; i < len(mc.Clusters); i++ {
+				if ov := Jaccard(mc.Clusters[i-1], mc.Clusters[i]); ov < theta && math.Abs(ov-theta) > 1e-12 {
+					t.Fatalf("pattern %s: consecutive overlap %g below theta %g at step %d", mc.Key(), ov, theta, i)
+				}
+			}
+			for _, cl := range mc.Clusters {
+				if len(cl) == 0 {
+					t.Fatalf("pattern %s contains an empty cluster", mc.Key())
+				}
+			}
+		}
+	})
+}

@@ -17,6 +17,7 @@ package movingcluster
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/dbscan"
 	"repro/internal/model"
@@ -47,6 +48,31 @@ func (mc MovingCluster) End() int32 { return mc.Start + int32(len(mc.Clusters)) 
 // Len returns the lifetime in timestamps.
 func (mc MovingCluster) Len() int { return len(mc.Clusters) }
 
+// Members returns the union of every cluster's members — the pattern's
+// lifetime footprint. Unlike a convoy's object set it does not imply
+// co-presence at any single tick.
+func (mc MovingCluster) Members() model.ObjSet {
+	var ids []int32
+	for _, cl := range mc.Clusters {
+		ids = append(ids, cl...)
+	}
+	return model.NewObjSet(ids...)
+}
+
+// Key returns a canonical identity string: the lifespan plus every per-tick
+// cluster. Two moving clusters with equal keys are equal patterns, including
+// their full cluster sequences (the footprint alone would collide for
+// distinct chains over the same members).
+func (mc MovingCluster) Key() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d:%d", mc.Start, mc.End())
+	for _, cl := range mc.Clusters {
+		sb.WriteByte('|')
+		sb.WriteString(cl.Key())
+	}
+	return sb.String()
+}
+
 // Jaccard returns |a ∩ b| / |a ∪ b| (zero when both sets are empty).
 func Jaccard(a, b model.ObjSet) float64 {
 	inter := a.IntersectSize(b)
@@ -62,79 +88,168 @@ func Jaccard(a, b model.ObjSet) float64 {
 // A cluster extends at most one chain and each chain extends to at most one
 // cluster per tick (the best-overlap match, as in MC2) — ties break towards
 // the larger overlap, then the smaller cluster order.
+//
+// Mine is a thin loop over the streaming Miner, so the batch sweep and the
+// convoyd feed mode share one chaining code path and are byte-identical by
+// construction.
 func Mine(store storage.Store, cfg Config) ([]MovingCluster, error) {
 	ts, te := store.TimeRange()
 	if te < ts {
 		return nil, nil
 	}
-	type chain struct {
-		start    int32
-		clusters []model.ObjSet
-	}
-	var (
-		active []*chain
-		out    []MovingCluster
-	)
-	emit := func(c *chain) {
-		if len(c.clusters) >= cfg.K {
-			out = append(out, MovingCluster{Start: c.start, Clusters: c.clusters})
-		}
-	}
+	mn := NewMiner(cfg)
 	for t := ts; t <= te; t++ {
 		snap, err := store.Snapshot(t)
 		if err != nil {
 			return nil, fmt.Errorf("movingcluster: snapshot %d: %w", t, err)
 		}
-		clusters := dbscan.Cluster(snap, cfg.Eps, cfg.M)
-		// Greedy best-overlap matching between active chains and clusters.
-		type match struct {
-			chain   int
-			cluster int
-			overlap float64
-		}
-		var matches []match
-		for ci, ch := range active {
-			last := ch.clusters[len(ch.clusters)-1]
-			for cj, cl := range clusters {
-				if ov := Jaccard(last, cl); ov >= cfg.Theta {
-					matches = append(matches, match{chain: ci, cluster: cj, overlap: ov})
-				}
-			}
-		}
-		// Sort by overlap descending (stable on insertion order).
-		for i := 1; i < len(matches); i++ {
-			for j := i; j > 0 && matches[j].overlap > matches[j-1].overlap; j-- {
-				matches[j], matches[j-1] = matches[j-1], matches[j]
-			}
-		}
-		chainTaken := make([]bool, len(active))
-		clusterTaken := make([]bool, len(clusters))
-		var next []*chain
-		for _, m := range matches {
-			if chainTaken[m.chain] || clusterTaken[m.cluster] {
-				continue
-			}
-			chainTaken[m.chain] = true
-			clusterTaken[m.cluster] = true
-			ch := active[m.chain]
-			ch.clusters = append(ch.clusters, clusters[m.cluster])
-			next = append(next, ch)
-		}
-		// Unmatched chains terminate; unmatched clusters start fresh chains.
-		for ci, ch := range active {
-			if !chainTaken[ci] {
-				emit(ch)
-			}
-		}
+		mn.Step(t, snap)
+	}
+	return mn.Finish(), nil
+}
+
+// chain is one still-open moving cluster candidate.
+type chain struct {
+	start    int32
+	clusters []model.ObjSet
+}
+
+// Miner is the incremental moving-cluster miner fed one snapshot at a time,
+// mirroring cmc.Miner's streaming surface (Step/Drain/Finish/Last/Reset).
+// It carries the open chains across ticks; each Step clusters the snapshot
+// and runs the same greedy best-overlap matching as Mine. Patterns are
+// emitted the moment their chain fails to extend, so streaming consumers
+// can poll with Drain in O(new).
+//
+// Gaps in the timestamp sequence terminate every open chain: a chain cannot
+// overlap a tick that has no clusters, which is exactly what the batch sweep
+// does when the missing ticks hold no points. A Miner is not safe for
+// concurrent use (convoyd's shard actors give each feed a single owner).
+type Miner struct {
+	cfg     Config
+	active  []*chain
+	out     []MovingCluster // every emitted pattern, in emission order
+	fresh   int             // out[fresh:] not yet drained
+	lastT   int32
+	started bool
+}
+
+// NewMiner creates a streaming miner for the given parameters.
+func NewMiner(cfg Config) *Miner {
+	return &Miner{cfg: cfg}
+}
+
+// Step clusters the snapshot of timestamp t and chains the clusters.
+// Timestamps must be fed in strictly increasing order; feeding a timestamp
+// ≤ the previous one panics (callers accepting untrusted input validate
+// first, as with cmc.Miner).
+func (mn *Miner) Step(t int32, snap []model.ObjPos) {
+	mn.StepClusters(t, dbscan.Cluster(snap, mn.cfg.Eps, mn.cfg.M))
+}
+
+// StepClusters is Step for callers that already hold the tick's cluster set
+// (the fuzz harness exercises the chaining in isolation through it).
+func (mn *Miner) StepClusters(t int32, clusters []model.ObjSet) {
+	if mn.started && t <= mn.lastT {
+		panic(fmt.Sprintf("movingcluster: non-monotonic Step: t=%d after t=%d", t, mn.lastT))
+	}
+	if mn.started && t != mn.lastT+1 {
+		// Discontinuity: no cluster exists at the missing ticks, so no chain
+		// can span them — identical to the batch sweep seeing empty
+		// snapshots there.
+		mn.closeAll()
+	}
+	mn.started = true
+	mn.lastT = t
+	// Greedy best-overlap matching between active chains and clusters.
+	type match struct {
+		chain   int
+		cluster int
+		overlap float64
+	}
+	var matches []match
+	for ci, ch := range mn.active {
+		last := ch.clusters[len(ch.clusters)-1]
 		for cj, cl := range clusters {
-			if !clusterTaken[cj] {
-				next = append(next, &chain{start: t, clusters: []model.ObjSet{cl}})
+			if ov := Jaccard(last, cl); ov >= mn.cfg.Theta {
+				matches = append(matches, match{chain: ci, cluster: cj, overlap: ov})
 			}
 		}
-		active = next
 	}
-	for _, ch := range active {
-		emit(ch)
+	// Sort by overlap descending (stable on insertion order).
+	for i := 1; i < len(matches); i++ {
+		for j := i; j > 0 && matches[j].overlap > matches[j-1].overlap; j-- {
+			matches[j], matches[j-1] = matches[j-1], matches[j]
+		}
 	}
-	return out, nil
+	chainTaken := make([]bool, len(mn.active))
+	clusterTaken := make([]bool, len(clusters))
+	var next []*chain
+	for _, m := range matches {
+		if chainTaken[m.chain] || clusterTaken[m.cluster] {
+			continue
+		}
+		chainTaken[m.chain] = true
+		clusterTaken[m.cluster] = true
+		ch := mn.active[m.chain]
+		ch.clusters = append(ch.clusters, clusters[m.cluster])
+		next = append(next, ch)
+	}
+	// Unmatched chains terminate; unmatched clusters start fresh chains.
+	for ci, ch := range mn.active {
+		if !chainTaken[ci] {
+			mn.emit(ch)
+		}
+	}
+	for cj, cl := range clusters {
+		if !clusterTaken[cj] {
+			next = append(next, &chain{start: t, clusters: []model.ObjSet{cl}})
+		}
+	}
+	mn.active = next
+}
+
+func (mn *Miner) emit(c *chain) {
+	if len(c.clusters) >= mn.cfg.K {
+		mn.out = append(mn.out, MovingCluster{Start: c.start, Clusters: c.clusters})
+	}
+}
+
+// closeAll terminates every open chain, emitting the long-enough ones.
+func (mn *Miner) closeAll() {
+	for _, ch := range mn.active {
+		mn.emit(ch)
+	}
+	mn.active = nil
+}
+
+// Drain returns the patterns emitted since the last Drain, in emission
+// order. Unlike cmc.Miner's result set, a moving cluster is emitted exactly
+// once and never superseded, so Drain needs no external dedup.
+func (mn *Miner) Drain() []MovingCluster {
+	out := mn.out[mn.fresh:len(mn.out):len(mn.out)]
+	mn.fresh = len(mn.out)
+	return out
+}
+
+// Finish ends the stream: every open chain of sufficient length is emitted,
+// and the full result set is returned in emission order — exactly what Mine
+// returns over the same tick sequence.
+func (mn *Miner) Finish() []MovingCluster {
+	mn.closeAll()
+	mn.fresh = len(mn.out)
+	return mn.out
+}
+
+// Last returns the most recently stepped timestamp; ok is false before the
+// first Step (and after a Reset).
+func (mn *Miner) Last() (t int32, ok bool) { return mn.lastT, mn.started }
+
+// Reset returns the miner to its initial state, keeping the parameters.
+func (mn *Miner) Reset() {
+	mn.active = nil
+	mn.out = nil
+	mn.fresh = 0
+	mn.lastT = 0
+	mn.started = false
 }

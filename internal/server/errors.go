@@ -32,10 +32,11 @@ const (
 
 	// 404 / 409 / 410 — the request is well-formed but the target is not
 	// in a state that can serve it.
-	codeUnknownFeed apiCode = "unknown_feed"
-	codeFeedFlushed apiCode = "feed_flushed"
-	codeFeedEvicted apiCode = "feed_evicted"
-	codeCursorGone  apiCode = "cursor_gone" // live cursor outside [truncated_before, head)
+	codeUnknownFeed     apiCode = "unknown_feed"
+	codeFeedFlushed     apiCode = "feed_flushed"
+	codePatternMismatch apiCode = "pattern_mismatch" // ?pattern= differs from the feed's negotiated family
+	codeFeedEvicted     apiCode = "feed_evicted"
+	codeCursorGone      apiCode = "cursor_gone" // live cursor outside [truncated_before, head)
 
 	// 415 — the ingest content negotiation failed.
 	codeUnsupportedMedia apiCode = "unsupported_media_type"
@@ -62,6 +63,7 @@ var apiCodes = map[apiCode]string{
 	codeBadFrame:         "invalid K2BI binary frame",
 	codeUnknownFeed:      "feed was never ingested",
 	codeFeedFlushed:      "ingest into a flushed feed",
+	codePatternMismatch:  "feed mines a different pattern family",
 	codeFeedEvicted:      "feed was TTL-evicted",
 	codeCursorGone:       "live cursor outside the feed's domain",
 	codeUnsupportedMedia: "Content-Type not negotiable",

@@ -23,11 +23,15 @@ import (
 type feed struct {
 	name  string
 	shard int
+	// pattern is the movement-pattern family this feed mines (negotiated at
+	// creation, immutable for the feed's lifetime — recovery restores it
+	// from the convoy log and mismatching ingests are rejected).
+	pattern convoy.Pattern
 
 	// --- owned by the shard actor goroutine, unguarded -------------------
-	miner   *convoy.StreamMiner
+	miner   convoy.PatternMiner
 	buf     *reorder
-	pubSeen map[string]bool // convoy keys already published (or recovered from the log)
+	pubSeen map[string]bool // pattern keys already published (or recovered from the log)
 	done    bool            // feed was flushed; further ingest is dropped
 
 	// --- lifecycle coordination (see lifecycle.go) -----------------------
@@ -51,8 +55,8 @@ type feed struct {
 
 	// --- published state, guarded by mu ----------------------------------
 	mu     sync.Mutex
-	closed []convoy.Convoy // resident history suffix: absolute indices [start, head)
-	start  int             // absolute index of closed[0] (truncatedBefore)
+	closed []convoy.PatternResult // resident history suffix: absolute indices [start, head)
+	start  int                    // absolute index of closed[0] (truncatedBefore)
 	// persisted is the at-most-once append guard: it advances before the
 	// write so a sink error can never re-append. durable advances only
 	// after a successful Sync covering the records, so it is the safe
@@ -65,36 +69,40 @@ type feed struct {
 	// the flushed state restart-durable (written by persistAll once the
 	// whole history is durable).
 	flushLogged bool
-	final       []convoy.Convoy // full maximal set, valid once flushed
-	notify      chan struct{}   // closed and replaced on every publish/flush/evict
+	final       []convoy.PatternResult // full maximal set, valid once flushed
+	notify      chan struct{}          // closed and replaced on every publish/flush/evict
 	stats       FeedStats
 }
 
 // FeedStats are the per-feed counters exposed by /v1/stats.
 type FeedStats struct {
-	SnapshotsIn     int64 `json:"snapshots_in"`     // snapshots accepted into the buffer
-	TicksMined      int64 `json:"ticks_mined"`      // sealed ticks fed to the miner
-	LateDropped     int64 `json:"late_dropped"`     // snapshots behind the watermark
-	FlushedDropped  int64 `json:"flushed_dropped"`  // snapshots racing an earlier flush
-	ClosedTotal     int64 `json:"closed_total"`     // head: convoys ever published (incl. recovered)
-	TruncatedBefore int   `json:"truncated_before"` // lower bound of the live cursor domain
-	ClosedInMemory  int   `json:"closed_in_memory"` // resident history length (head − truncated_before)
-	PendingTicks    int   `json:"pending_ticks"`    // buffered, not yet sealed
+	Pattern         string `json:"pattern"`          // the feed's pattern family
+	SnapshotsIn     int64  `json:"snapshots_in"`     // snapshots accepted into the buffer
+	TicksMined      int64  `json:"ticks_mined"`      // sealed ticks fed to the miner
+	LateDropped     int64  `json:"late_dropped"`     // snapshots behind the watermark
+	FlushedDropped  int64  `json:"flushed_dropped"`  // snapshots racing an earlier flush
+	ClosedTotal     int64  `json:"closed_total"`     // head: convoys ever published (incl. recovered)
+	TruncatedBefore int    `json:"truncated_before"` // lower bound of the live cursor domain
+	ClosedInMemory  int    `json:"closed_in_memory"` // resident history length (head − truncated_before)
+	PendingTicks    int    `json:"pending_ticks"`    // buffered, not yet sealed
 }
 
-func newFeed(name string, shard int, p convoy.Params, window int32) (*feed, error) {
-	m, err := convoy.NewStreamMiner(p)
+func newFeed(name string, shard int, pat convoy.Pattern, pp convoy.PatternParams, window int32) (*feed, error) {
+	m, err := convoy.NewPatternMiner(pat, pp)
 	if err != nil {
 		return nil, err
 	}
-	return &feed{
+	f := &feed{
 		name:    name,
 		shard:   shard,
+		pattern: pat,
 		miner:   m,
 		buf:     newReorder(window),
 		pubSeen: map[string]bool{},
 		notify:  make(chan struct{}),
-	}, nil
+	}
+	f.stats.Pattern = string(pat)
+	return f, nil
 }
 
 // head is the absolute end of the published history. Caller holds f.mu.
@@ -103,13 +111,13 @@ func (f *feed) head() int { return f.start + len(f.closed) }
 // touch records activity for TTL eviction.
 func (f *feed) touch(nowNanos int64) { f.lastActive.Store(nowNanos) }
 
-// publish appends newly closed convoys to the published list and wakes all
+// publish appends newly closed patterns to the published list and wakes all
 // long-pollers. Called only from the owning shard actor.
-func (f *feed) publish(cs []convoy.Convoy) {
+func (f *feed) publish(cs []convoy.PatternResult) {
 	fresh := cs[:0:0]
 	for _, c := range cs {
-		if !f.pubSeen[c.Key()] {
-			f.pubSeen[c.Key()] = true
+		if !f.pubSeen[c.PatternKey()] {
+			f.pubSeen[c.PatternKey()] = true
 			fresh = append(fresh, c)
 		}
 	}
@@ -128,7 +136,7 @@ func (f *feed) publish(cs []convoy.Convoy) {
 
 // markFlushed records the final result set and wakes all long-pollers.
 // Called only from the owning shard actor.
-func (f *feed) markFlushed(final []convoy.Convoy) {
+func (f *feed) markFlushed(final []convoy.PatternResult) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.flushed = true
@@ -161,7 +169,7 @@ func (f *feed) truncateTo(upTo int) int {
 	if drop <= 0 {
 		return 0
 	}
-	rest := make([]convoy.Convoy, len(f.closed)-drop)
+	rest := make([]convoy.PatternResult, len(f.closed)-drop)
 	copy(rest, f.closed[drop:])
 	f.closed = rest
 	f.start = upTo

@@ -41,10 +41,16 @@ type convoyJSON struct {
 	Objs  []int32 `json:"objs"`
 	Start int32   `json:"start"`
 	End   int32   `json:"end"`
+	// Clusters is the per-tick cluster sequence (Clusters[i] is the cluster
+	// at Start+i); only moving-cluster feeds set it. For them Objs is the
+	// lifetime footprint, not a co-present group.
+	Clusters [][]int32 `json:"clusters,omitempty"`
 }
 
 type convoysResponse struct {
-	Cursor int `json:"cursor"`
+	// Pattern is the feed's pattern family ("convoy", "flock" or "mc").
+	Pattern string `json:"pattern"`
+	Cursor  int    `json:"cursor"`
 	// TruncatedBefore is the lower bound of the live cursor domain: convoys
 	// below it were persisted to the log and dropped from memory, and
 	// querying them answers 410 Gone.
@@ -155,7 +161,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		aerr.write(w)
 		return
 	}
-	f, err := s.feedFor(name, true)
+	pat, aerr := patternParam(r)
+	if aerr != nil {
+		aerr.write(w)
+		return
+	}
+	f, err := s.feedFor(name, true, pat)
 	if err != nil {
 		writeServerError(w, err)
 		return
@@ -168,7 +179,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if errors.Is(err, ErrFeedEvicted) {
 		// The feed was TTL-evicted between lookup and enqueue; start a
 		// fresh feed lifecycle under the same name and retry once.
-		if f, err = s.feedFor(name, true); err == nil {
+		if f, err = s.feedFor(name, true, pat); err == nil {
 			err = s.admitIngest(r.Context(), f, batch)
 		}
 	}
@@ -181,8 +192,22 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(ingestResponse{Accepted: len(batch), Frames: frames})
 }
 
+// patternParam parses the optional ?pattern= query parameter. Absent means
+// unconstrained (match any existing feed; create the default family).
+func patternParam(r *http.Request) (convoy.Pattern, *apiError) {
+	ps := r.URL.Query().Get("pattern")
+	if ps == "" {
+		return "", nil
+	}
+	pat, err := convoy.ParsePattern(ps)
+	if err != nil {
+		return "", &apiError{status: http.StatusBadRequest, code: codeBadParam, msg: err.Error()}
+	}
+	return pat, nil
+}
+
 func (s *Server) handleConvoys(w http.ResponseWriter, r *http.Request) {
-	f, err := s.feedFor(r.PathValue("feed"), false)
+	f, err := s.feedFor(r.PathValue("feed"), false, "")
 	if err != nil {
 		writeServerError(w, err)
 		return
@@ -290,7 +315,8 @@ func (s *Server) handleConvoys(w http.ResponseWriter, r *http.Request) {
 			// A truncated page must not report flushed: a client that stops
 			// polling at flushed=true would miss the convoys past the limit.
 			writeJSON(w, convoysResponse{
-				Cursor: next, TruncatedBefore: tb, Convoys: out,
+				Pattern: string(f.pattern),
+				Cursor:  next, TruncatedBefore: tb, Convoys: out,
 				Flushed: flushed && next == head,
 			})
 			return
@@ -310,7 +336,7 @@ func (s *Server) handleConvoys(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
-	f, err := s.feedFor(r.PathValue("feed"), false)
+	f, err := s.feedFor(r.PathValue("feed"), false, "")
 	if err != nil {
 		writeServerError(w, err)
 		return
@@ -319,7 +345,7 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, codeUnknownFeed, "unknown feed")
 		return
 	}
-	reply := make(chan []convoy.Convoy, 1)
+	reply := make(chan []convoy.PatternResult, 1)
 	if err := s.enqueue(r.Context(), shardMsg{feed: f, flushReply: reply}); err != nil {
 		writeServerError(w, err)
 		return
@@ -337,7 +363,10 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		f.mu.Lock()
 		cursor, tb := f.head(), f.start
 		f.mu.Unlock()
-		writeJSON(w, convoysResponse{Cursor: cursor, TruncatedBefore: tb, Convoys: out, Flushed: true})
+		writeJSON(w, convoysResponse{
+			Pattern: string(f.pattern),
+			Cursor:  cursor, TruncatedBefore: tb, Convoys: out, Flushed: true,
+		})
 	case <-r.Context().Done():
 		// The flush still completes server-side; the client just left.
 	}
@@ -347,8 +376,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.Stats())
 }
 
-func toConvoyJSON(c convoy.Convoy) convoyJSON {
-	return convoyJSON{Objs: append([]int32(nil), c.Objs...), Start: c.Start, End: c.End}
+func toConvoyJSON(c convoy.PatternResult) convoyJSON {
+	out := convoyJSON{Objs: append([]int32(nil), c.Objs...), Start: c.Start, End: c.End}
+	for _, cl := range c.Clusters {
+		out.Clusters = append(out.Clusters, append([]int32(nil), cl...))
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -372,6 +405,8 @@ func writeServerError(w http.ResponseWriter, err error) {
 		writeRetryError(w, codeBreakerOpen, err.Error(), retryAfter(err, time.Second))
 	case errors.Is(err, ErrFeedLimit):
 		writeRetryError(w, codeFeedLimit, err.Error(), retryAfter(err, time.Second))
+	case errors.Is(err, ErrPatternMismatch):
+		writeError(w, http.StatusConflict, codePatternMismatch, err.Error())
 	case errors.Is(err, ErrFeedEvicted):
 		writeError(w, http.StatusGone, codeFeedEvicted, err.Error())
 	case errors.Is(err, ErrClosed):

@@ -167,7 +167,12 @@ func (s *Server) handleIngestStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	f, err := s.feedFor(name, true)
+	pat, aerr := patternParam(r)
+	if aerr != nil {
+		aerr.write(w)
+		return
+	}
+	f, err := s.feedFor(name, true, pat)
 	if err != nil {
 		writeServerError(w, err)
 		return
@@ -189,7 +194,7 @@ func (s *Server) handleIngestStream(w http.ResponseWriter, r *http.Request) {
 			// Same one-shot recovery as the unary path: the feed idled out
 			// mid-stream (possible under a slow client); restart its
 			// lifecycle and retry once.
-			if f, err = s.feedFor(name, true); err == nil {
+			if f, err = s.feedFor(name, true, pat); err == nil {
 				err = s.admitIngest(r.Context(), f, chunk)
 			}
 		}

@@ -153,7 +153,7 @@ func TestIngestBinaryRejects(t *testing.T) {
 	if e := decodeEnvelope(t, body); e.Code != string(codeBadParam) {
 		t.Fatalf("NaN frame: code %q, want %q", e.Code, codeBadParam)
 	}
-	if f, _ := srv.feedFor("rej", false); f != nil {
+	if f, _ := srv.feedFor("rej", false, ""); f != nil {
 		if fs, _ := f.snapshotStats(); fs.SnapshotsIn != 0 {
 			t.Fatalf("rejected bodies reached the shard: %+v", fs)
 		}

@@ -182,7 +182,7 @@ func TestKeepHistory(t *testing.T) {
 		t.Fatal("ingest failed")
 	}
 	waitFor(t, 5*time.Second, "persistence", func() bool {
-		f, _ := srv.feedFor("f", false)
+		f, _ := srv.feedFor("f", false, "")
 		f.mu.Lock()
 		defer f.mu.Unlock()
 		return f.persisted == 2

@@ -56,11 +56,24 @@ var ErrFeedLimit = errors.New("server: feed limit reached")
 // feed; the HTTP layer maps it to 410 (ingest retries with a fresh feed).
 var ErrFeedEvicted = errors.New("server: feed evicted")
 
+// ErrPatternMismatch is returned when an ingest names a pattern different
+// from the one the feed was created with; the HTTP layer maps it to 409
+// pattern_mismatch. A feed's pattern is immutable — flush (or evict) the
+// feed and recreate it to change families.
+var ErrPatternMismatch = errors.New("server: feed mines a different pattern")
+
 // Config tunes a convoyd server. The zero value of each field selects the
 // documented default.
 type Config struct {
-	// Params are the convoy parameters every feed is mined with.
+	// Params are the convoy parameters every feed is mined with. Flock
+	// feeds reuse M and K; moving-cluster feeds reuse M, K and Eps.
 	Params convoy.Params
+	// FlockR is the disk radius flock-pattern feeds are mined with
+	// (default Params.Eps).
+	FlockR float64
+	// MCTheta is the minimum consecutive Jaccard overlap moving-cluster
+	// feeds are mined with, in (0, 1] (default 0.5).
+	MCTheta float64
 	// Shards is the number of shard actors (default 8).
 	Shards int
 	// QueueLen is the per-shard ingest queue capacity, in batches
@@ -251,14 +264,22 @@ type Server struct {
 	testHook func(shardID int)
 }
 
+// patternParams bundles the configured parameters of every pattern family.
+func (c Config) patternParams() convoy.PatternParams {
+	return convoy.PatternParams{Params: c.Params, R: c.FlockR, Theta: c.MCTheta}
+}
+
 // New creates a server. Params are validated by the first feed's miner
-// construction, so invalid params are rejected eagerly here instead. When
+// construction, so invalid params are rejected eagerly here instead — for
+// every pattern family a feed could negotiate, not just the default. When
 // PersistPath names an existing log, New recovers from it (see
 // Config.PersistPath).
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	if _, err := convoy.NewStreamMiner(cfg.Params); err != nil {
-		return nil, err
+	for _, pat := range []convoy.Pattern{convoy.PatternConvoy, convoy.PatternFlock, convoy.PatternMC} {
+		if _, err := convoy.NewPatternMiner(pat, cfg.patternParams()); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.ArchiveDir != "" && cfg.PersistPath == "" {
 		return nil, errors.New("server: ArchiveDir requires PersistPath (the log is the archive's source of truth)")
@@ -330,6 +351,7 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) recover() error {
 	type recovered struct {
 		keys    map[string]bool
+		pattern convoy.Pattern
 		count   int
 		lastIdx int // index of the feed's newest log record (recency proxy)
 		flushed bool
@@ -339,16 +361,19 @@ func (s *Server) recover() error {
 	sink, err := storage.OpenConvoyLog(s.cfg.PersistPath, func(lc storage.LoggedConvoy) error {
 		r := rec[lc.Feed]
 		if r == nil {
-			r = &recovered{keys: map[string]bool{}}
+			r = &recovered{keys: map[string]bool{}, pattern: convoy.DefaultPattern}
 			rec[lc.Feed] = r
 		}
+		// Every record carries the feed's pattern tag (including the flush
+		// sentinel), so recovery restores the negotiated pattern mode.
+		r.pattern = patternFromLog(lc.Pattern)
 		if storage.IsFlushMarker(lc.Convoy) {
 			// Terminal-state sentinel, not a convoy: restores the flushed
 			// bit without entering the cursor domain or the dedup keys.
 			r.flushed = true
 			return nil
 		}
-		r.keys[lc.Convoy.Key()] = true
+		r.keys[loggedResult(lc).PatternKey()] = true
 		r.count++
 		r.lastIdx = idx
 		idx++
@@ -387,7 +412,7 @@ func (s *Server) recover() error {
 	}
 	now := time.Now().UnixNano()
 	for name, r := range rec {
-		f, err := newFeed(name, s.ring.lookup(name), s.cfg.Params, s.cfg.Window)
+		f, err := newFeed(name, s.ring.lookup(name), r.pattern, s.cfg.patternParams(), s.cfg.Window)
 		if err != nil {
 			sink.Close()
 			return fmt.Errorf("server: recover feed %q: %w", name, err)
@@ -525,9 +550,45 @@ func retentionFloor(a *archive.Archive, keep int32) (int32, bool) {
 // records reach the archive's fsynced records file with every batch.
 const archiveFlushEvery = 30 * time.Second
 
+// logPattern maps a feed's pattern family to its convoy-log tag.
+func logPattern(p convoy.Pattern) uint8 {
+	switch p {
+	case convoy.PatternFlock:
+		return storage.LogPatternFlock
+	case convoy.PatternMC:
+		return storage.LogPatternMC
+	default:
+		return storage.LogPatternConvoy
+	}
+}
+
+// patternFromLog is the inverse of logPattern. Untagged (v1) records map to
+// the convoy pattern, so logs written before pattern modes existed recover
+// exactly as before.
+func patternFromLog(tag uint8) convoy.Pattern {
+	switch tag {
+	case storage.LogPatternFlock:
+		return convoy.PatternFlock
+	case storage.LogPatternMC:
+		return convoy.PatternMC
+	default:
+		return convoy.PatternConvoy
+	}
+}
+
+// loggedResult reconstructs the published PatternResult a log record
+// persisted, so recovery rebuilds the same dedup keys publish used.
+func loggedResult(lc storage.LoggedConvoy) convoy.PatternResult {
+	return convoy.PatternResult{Convoy: lc.Convoy, Clusters: lc.Clusters}
+}
+
 // feedFor returns the feed for name, creating it on first use when create
-// is set.
-func (s *Server) feedFor(name string, create bool) (*feed, error) {
+// is set. pat constrains the feed's pattern family: an existing feed of a
+// different family fails with ErrPatternMismatch, and a created feed mines
+// pat. The empty pattern is unconstrained — it matches any existing feed
+// and creates DefaultPattern feeds (read paths pass it; only ingest, which
+// parsed an explicit ?pattern=, constrains).
+func (s *Server) feedFor(name string, create bool, pat convoy.Pattern) (*feed, error) {
 	s.mu.RLock()
 	f := s.feeds[name]
 	closed := s.closed
@@ -536,6 +597,9 @@ func (s *Server) feedFor(name string, create bool) (*feed, error) {
 		return nil, ErrClosed
 	}
 	if f != nil || !create {
+		if f != nil && pat != "" && f.pattern != pat {
+			return nil, ErrPatternMismatch
+		}
 		return f, nil
 	}
 	s.mu.Lock()
@@ -544,12 +608,18 @@ func (s *Server) feedFor(name string, create bool) (*feed, error) {
 		return nil, ErrClosed
 	}
 	if f = s.feeds[name]; f != nil {
+		if pat != "" && f.pattern != pat {
+			return nil, ErrPatternMismatch
+		}
 		return f, nil
 	}
 	if len(s.feeds) >= s.cfg.MaxFeeds {
 		return nil, ErrFeedLimit
 	}
-	f, err := newFeed(name, s.ring.lookup(name), s.cfg.Params, s.cfg.Window)
+	if pat == "" {
+		pat = convoy.DefaultPattern
+	}
+	f, err := newFeed(name, s.ring.lookup(name), pat, s.cfg.patternParams(), s.cfg.Window)
 	if err != nil {
 		return nil, fmt.Errorf("server: feed %q: %w", name, err)
 	}
@@ -639,7 +709,11 @@ func (s *Server) touchFeed(f *feed) bool {
 type Stats struct {
 	Shards []ShardStats         `json:"shards"`
 	Feeds  map[string]FeedStats `json:"feeds"`
-	Memory MemoryStats          `json:"memory"`
+	// Patterns breaks the live feeds down per pattern family: how many
+	// resident feeds mine each family and how many patterns they have
+	// closed in total (including recovered history).
+	Patterns map[string]PatternStats `json:"patterns"`
+	Memory   MemoryStats             `json:"memory"`
 	// Archive reports the historical query archive (absent when no
 	// ArchiveDir is configured).
 	Archive *ArchiveStats `json:"archive,omitempty"`
@@ -667,6 +741,12 @@ type ArchiveStats struct {
 	Broken bool `json:"broken,omitempty"`
 }
 
+// PatternStats aggregates one pattern family across the live feeds.
+type PatternStats struct {
+	LiveFeeds   int   `json:"live_feeds"`
+	ClosedTotal int64 `json:"closed_total"`
+}
+
 // ShardStats is one shard's queue occupancy.
 type ShardStats struct {
 	QueueLen int `json:"queue_len"`
@@ -692,7 +772,11 @@ type MemoryStats struct {
 
 // Stats returns a point-in-time snapshot of server counters.
 func (s *Server) Stats() Stats {
-	st := Stats{Feeds: map[string]FeedStats{}, SinkBroken: s.sinkBroken.Load()}
+	st := Stats{
+		Feeds:      map[string]FeedStats{},
+		Patterns:   map[string]PatternStats{},
+		SinkBroken: s.sinkBroken.Load(),
+	}
 	st.Shards = make([]ShardStats, len(s.shards))
 	now := time.Now()
 	for i, sh := range s.shards {
@@ -711,6 +795,10 @@ func (s *Server) Stats() Stats {
 		st.Feeds[name] = fs
 		st.Shards[f.shard].Feeds++
 		st.Memory.ClosedInMemory += fs.ClosedInMemory
+		ps := st.Patterns[fs.Pattern]
+		ps.LiveFeeds++
+		ps.ClosedTotal += fs.ClosedTotal
+		st.Patterns[fs.Pattern] = ps
 	}
 	st.Memory.LiveFeeds = len(s.feeds)
 	s.mu.RUnlock()
@@ -798,18 +886,20 @@ func (s *Server) persistAll() {
 		}
 		// Copy under the lock; write outside it so a slow disk does not
 		// stall the actor's publish path.
-		batch := make([]convoy.Convoy, len(fresh))
+		batch := make([]convoy.PatternResult, len(fresh))
 		copy(batch, fresh)
 		f.persisted = f.head()
 		newPersisted := f.persisted
 		f.mu.Unlock()
-		if err := s.sink.AppendAll(f.name, batch); err != nil {
-			s.sinkBroken.Store(true)
-			return
-		}
-		if s.arch != nil {
-			for _, c := range batch {
-				archBatch = append(archBatch, storage.LoggedConvoy{Feed: f.name, Convoy: c})
+		tag := logPattern(f.pattern)
+		for _, c := range batch {
+			rec := storage.LoggedConvoy{Feed: f.name, Convoy: c.Convoy, Pattern: tag, Clusters: c.Clusters}
+			if err := s.sink.AppendRecord(rec); err != nil {
+				s.sinkBroken.Store(true)
+				return
+			}
+			if s.arch != nil {
+				archBatch = append(archBatch, rec)
 			}
 		}
 		wrote = append(wrote, written{f: f, synced: newPersisted})
@@ -847,7 +937,10 @@ func (s *Server) persistAll() {
 		if !mark {
 			continue
 		}
-		if err := s.sink.Append(f.name, storage.FlushMarker()); err != nil {
+		// The sentinel carries the feed's pattern tag too, so a flushed feed
+		// that never closed a single pattern still recovers its mode.
+		rec := storage.LoggedConvoy{Feed: f.name, Convoy: storage.FlushMarker(), Pattern: logPattern(f.pattern)}
+		if err := s.sink.AppendRecord(rec); err != nil {
 			s.sinkBroken.Store(true)
 			return
 		}

@@ -12,7 +12,7 @@ import (
 type shardMsg struct {
 	feed       *feed
 	snaps      []tick
-	flushReply chan []convoy.Convoy
+	flushReply chan []convoy.PatternResult
 }
 
 // shard is one actor: a bounded ingest queue plus the goroutine that owns
@@ -75,7 +75,7 @@ func (sh *shard) ingest(f *feed, snaps []tick) {
 
 // flush drains the reordering buffer, ends the stream, publishes everything
 // and replies with the full maximal result set.
-func (sh *shard) flush(f *feed, reply chan []convoy.Convoy) {
+func (sh *shard) flush(f *feed, reply chan []convoy.PatternResult) {
 	if !f.done {
 		rest := f.buf.drain()
 		f.mu.Lock()

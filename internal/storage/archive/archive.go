@@ -341,7 +341,7 @@ func (a *Archive) reindexAll(path string) (int64, error) {
 // live/crc/maxEnd over everything scanned. Returns the end boundary.
 func (a *Archive) scanAndIndex(path string, from, seq int64) (int64, error) {
 	end, err := storage.ScanConvoyLogFrom(path, from, func(off int64, rec storage.LoggedConvoy) error {
-		enc, err := storage.EncodeConvoyRecord(rec.Feed, rec.Convoy)
+		enc, err := storage.EncodeLoggedRecord(rec)
 		if err != nil {
 			return err
 		}
@@ -428,7 +428,7 @@ func (a *Archive) addBatchLocked(recs []storage.LoggedConvoy) error {
 		if a.nextSeq+int64(len(batch)) > maxSeq {
 			return fmt.Errorf("archive: full (%d records)", a.nextSeq)
 		}
-		enc, err := storage.EncodeConvoyRecord(rec.Feed, rec.Convoy)
+		enc, err := storage.EncodeLoggedRecord(rec)
 		if err != nil {
 			return err
 		}
@@ -507,7 +507,7 @@ func (a *Archive) Backfill(logPath string) (int64, error) {
 			return nil
 		}
 		if skipped < pre {
-			enc, err := storage.EncodeConvoyRecord(rec.Feed, rec.Convoy)
+			enc, err := storage.EncodeLoggedRecord(rec)
 			if err != nil {
 				return err
 			}

@@ -135,7 +135,7 @@ func (a *Archive) applyExpireLocked() (int64, error) {
 			dead = append(dead, entry{seq: seq, rec: rec})
 			return nil
 		}
-		enc, err := storage.EncodeConvoyRecord(rec.Feed, rec.Convoy)
+		enc, err := storage.EncodeLoggedRecord(rec)
 		if err != nil {
 			return err
 		}

@@ -22,6 +22,16 @@ import (
 //	header:  magic "K2CL" | version u32
 //	records: feedLen u16 | feed | start i32 | end i32 | n u32 | n × oid i32
 //
+// The count field n doubles as a pattern tag: a plain convoy record (the
+// only kind version 1 ever wrote) keeps bit 31 clear, so old logs decode
+// unchanged and plain records still encode byte-for-byte as they always
+// did. A record of another pattern family sets bit 31, carries the pattern
+// id in bits 24–30 and the object count in bits 0–23 (counts were already
+// capped at 2²⁴ by maxLoggedConvoySize), and — for moving clusters — is
+// followed by the per-tick cluster block:
+//
+//	clusters: nClusters u32 | nClusters × (m u32 | m × oid i32)
+//
 // Appends are buffered and mutex-serialised, so many shard actors can share
 // one log; Sync flushes the buffer and fsyncs, which is what the server's
 // periodic persistence tick calls.
@@ -37,15 +47,35 @@ const (
 	convoyLogVersion    = 1
 	convoyLogHeaderSize = 8
 	// maxLoggedConvoySize caps the object count a reader will allocate for,
-	// so a corrupt length prefix cannot demand gigabytes.
+	// so a corrupt length prefix cannot demand gigabytes. It is also the
+	// modulus of the tagged count field (bits 0–23).
 	maxLoggedConvoySize = 1 << 24
+
+	// The tagged count-field layout (see the package comment).
+	logRecExtended     = uint32(1) << 31
+	logRecPatternShift = 24
+	logRecPatternMask  = uint32(0x7F)
+	logRecCountMask    = uint32(maxLoggedConvoySize - 1)
 )
 
-// LoggedConvoy is one record of a ConvoyLog: a closed convoy together with
-// the feed it was mined from.
+// Pattern ids carried by tagged log records. LogPatternConvoy is implicit —
+// plain records never set the tag, keeping them byte-identical to the
+// pre-pattern format.
+const (
+	LogPatternConvoy uint8 = 0
+	LogPatternFlock  uint8 = 1
+	LogPatternMC     uint8 = 2
+)
+
+// LoggedConvoy is one record of a ConvoyLog: a closed pattern together with
+// the feed it was mined from. Pattern tags the family (LogPattern*); for
+// moving clusters, Convoy carries the lifetime footprint and Clusters the
+// per-tick cluster sequence (Clusters[i] is the cluster at Start+i).
 type LoggedConvoy struct {
-	Feed   string
-	Convoy model.Convoy
+	Feed     string
+	Convoy   model.Convoy
+	Pattern  uint8
+	Clusters []model.ObjSet
 }
 
 // FlushMarker returns the sentinel record convoyd appends after a feed's
@@ -80,24 +110,61 @@ func CreateConvoyLog(path string) (*ConvoyLog, error) {
 	return l, nil
 }
 
-// EncodeConvoyRecord serialises one (feed, convoy) record in the log's wire
-// format. It is exported so the archive can checksum a log prefix without
-// re-reading raw bytes: the codec is canonical (decode∘encode is the
-// identity), so re-encoding a decoded record reproduces the on-disk bytes.
+// EncodeConvoyRecord serialises one plain (feed, convoy) record in the
+// log's wire format. Pattern-tagged records go through EncodeLoggedRecord.
 func EncodeConvoyRecord(feed string, c model.Convoy) ([]byte, error) {
-	if len(feed) > int(^uint16(0)) {
-		return nil, fmt.Errorf("convoylog: feed name too long (%d bytes)", len(feed))
+	return EncodeLoggedRecord(LoggedConvoy{Feed: feed, Convoy: c})
+}
+
+// EncodeLoggedRecord serialises one record in the log's wire format. It is
+// exported so the archive can checksum a log prefix without re-reading raw
+// bytes: the codec is canonical (decode∘encode is the identity), so
+// re-encoding a decoded record reproduces the on-disk bytes. Canonicality
+// is enforced: a cluster block is carried by moving-cluster records and by
+// no others.
+func EncodeLoggedRecord(rec LoggedConvoy) ([]byte, error) {
+	if len(rec.Feed) > int(^uint16(0)) {
+		return nil, fmt.Errorf("convoylog: feed name too long (%d bytes)", len(rec.Feed))
 	}
-	rec := make([]byte, 0, 2+len(feed)+12+4*len(c.Objs))
-	rec = binary.LittleEndian.AppendUint16(rec, uint16(len(feed)))
-	rec = append(rec, feed...)
-	rec = binary.LittleEndian.AppendUint32(rec, uint32(c.Start))
-	rec = binary.LittleEndian.AppendUint32(rec, uint32(c.End))
-	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(c.Objs)))
+	c := rec.Convoy
+	if len(c.Objs) >= maxLoggedConvoySize {
+		return nil, fmt.Errorf("convoylog: object count %d exceeds the %d cap", len(c.Objs), maxLoggedConvoySize)
+	}
+	switch rec.Pattern {
+	case LogPatternConvoy, LogPatternFlock:
+		if len(rec.Clusters) != 0 {
+			return nil, fmt.Errorf("convoylog: pattern %d record cannot carry clusters", rec.Pattern)
+		}
+	case LogPatternMC:
+	default:
+		return nil, fmt.Errorf("convoylog: unknown pattern id %d", rec.Pattern)
+	}
+	out := make([]byte, 0, 2+len(rec.Feed)+12+4*len(c.Objs))
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(rec.Feed)))
+	out = append(out, rec.Feed...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(c.Start))
+	out = binary.LittleEndian.AppendUint32(out, uint32(c.End))
+	n := uint32(len(c.Objs))
+	if rec.Pattern != LogPatternConvoy {
+		n |= logRecExtended | uint32(rec.Pattern)<<logRecPatternShift
+	}
+	out = binary.LittleEndian.AppendUint32(out, n)
 	for _, oid := range c.Objs {
-		rec = binary.LittleEndian.AppendUint32(rec, uint32(oid))
+		out = binary.LittleEndian.AppendUint32(out, uint32(oid))
 	}
-	return rec, nil
+	if rec.Pattern == LogPatternMC {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(rec.Clusters)))
+		for _, cl := range rec.Clusters {
+			if len(cl) >= maxLoggedConvoySize {
+				return nil, fmt.Errorf("convoylog: cluster size %d exceeds the %d cap", len(cl), maxLoggedConvoySize)
+			}
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(cl)))
+			for _, oid := range cl {
+				out = binary.LittleEndian.AppendUint32(out, uint32(oid))
+			}
+		}
+	}
+	return out, nil
 }
 
 // Append writes one closed convoy of the given feed to the log. The record
@@ -107,11 +174,16 @@ func EncodeConvoyRecord(feed string, c model.Convoy) ([]byte, error) {
 // the bufio writer is stuck in its error state and the log should be
 // considered ended at the last Sync).
 func (l *ConvoyLog) Append(feed string, c model.Convoy) error {
-	rec, err := EncodeConvoyRecord(feed, c)
+	return l.AppendRecord(LoggedConvoy{Feed: feed, Convoy: c})
+}
+
+// AppendRecord writes one record, pattern tag and cluster block included.
+func (l *ConvoyLog) AppendRecord(rec LoggedConvoy) error {
+	enc, err := EncodeLoggedRecord(rec)
 	if err != nil {
 		return err
 	}
-	return l.AppendEncoded(rec)
+	return l.AppendEncoded(enc)
 }
 
 // AppendEncoded writes one record already serialised by EncodeConvoyRecord.
@@ -201,6 +273,16 @@ func readLogRecord(r *bufio.Reader) (LoggedConvoy, int64, error) {
 	start := int32(binary.LittleEndian.Uint32(rec[feedLen : feedLen+4]))
 	end := int32(binary.LittleEndian.Uint32(rec[feedLen+4 : feedLen+8]))
 	n := binary.LittleEndian.Uint32(rec[feedLen+8 : feedLen+12])
+	pattern := LogPatternConvoy
+	if n&logRecExtended != 0 {
+		pattern = uint8(n >> logRecPatternShift & logRecPatternMask)
+		n &= logRecCountMask
+		if pattern == LogPatternConvoy || pattern > LogPatternMC {
+			// A tagged plain-convoy record is never written (the plain form
+			// is canonical), so either way this is corruption.
+			return LoggedConvoy{}, 0, fmt.Errorf("convoylog: implausible pattern id %d", pattern)
+		}
+	}
 	if n > maxLoggedConvoySize {
 		return LoggedConvoy{}, 0, fmt.Errorf("convoylog: implausible object count %d", n)
 	}
@@ -213,7 +295,43 @@ func readLogRecord(r *bufio.Reader) (LoggedConvoy, int64, error) {
 		objs[i] = int32(binary.LittleEndian.Uint32(oidBuf[4*i : 4*i+4]))
 	}
 	size := int64(2 + feedLen + 12 + 4*int(n))
-	return LoggedConvoy{Feed: feed, Convoy: model.Convoy{Objs: objs, Start: start, End: end}}, size, nil
+	out := LoggedConvoy{
+		Feed:    feed,
+		Convoy:  model.Convoy{Objs: objs, Start: start, End: end},
+		Pattern: pattern,
+	}
+	if pattern == LogPatternMC {
+		var cntBuf [4]byte
+		if _, err := io.ReadFull(r, cntBuf[:]); err != nil {
+			return LoggedConvoy{}, 0, truncated(err)
+		}
+		nClusters := binary.LittleEndian.Uint32(cntBuf[:])
+		if nClusters > maxLoggedConvoySize {
+			return LoggedConvoy{}, 0, fmt.Errorf("convoylog: implausible cluster count %d", nClusters)
+		}
+		size += 4
+		out.Clusters = make([]model.ObjSet, nClusters)
+		for i := range out.Clusters {
+			if _, err := io.ReadFull(r, cntBuf[:]); err != nil {
+				return LoggedConvoy{}, 0, truncated(err)
+			}
+			m := binary.LittleEndian.Uint32(cntBuf[:])
+			if m > maxLoggedConvoySize {
+				return LoggedConvoy{}, 0, fmt.Errorf("convoylog: implausible cluster size %d", m)
+			}
+			clBuf := make([]byte, 4*int(m))
+			if _, err := io.ReadFull(r, clBuf); err != nil {
+				return LoggedConvoy{}, 0, truncated(err)
+			}
+			cl := make(model.ObjSet, m)
+			for j := range cl {
+				cl[j] = int32(binary.LittleEndian.Uint32(clBuf[4*j : 4*j+4]))
+			}
+			out.Clusters[i] = cl
+			size += 4 + 4*int64(m)
+		}
+	}
+	return out, size, nil
 }
 
 // truncated normalises a mid-record io.EOF (ReadFull reports it only when
@@ -386,14 +504,19 @@ func CompactConvoyLog(path string) (kept, dropped int, err error) {
 	defer os.Remove(tmp) // no-op after the rename succeeds
 	seen := map[string]bool{}
 	_, err = ScanConvoyLog(path, func(rec LoggedConvoy) error {
-		key := rec.Feed + "\x00" + rec.Convoy.Key()
-		if seen[key] {
+		// The encoded bytes are the exact record identity (the codec is
+		// canonical), pattern tag and cluster block included.
+		enc, err := EncodeLoggedRecord(rec)
+		if err != nil {
+			return err
+		}
+		if seen[string(enc)] {
 			dropped++
 			return nil
 		}
-		seen[key] = true
+		seen[string(enc)] = true
 		kept++
-		return out.Append(rec.Feed, rec.Convoy)
+		return out.AppendEncoded(enc)
 	})
 	if err != nil {
 		out.Close()

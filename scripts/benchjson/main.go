@@ -11,10 +11,21 @@
 // With no input file the bench text is read from stdin. Multiple samples
 // per benchmark (from -count) are all recorded; comparisons use the best
 // (minimum) ns/op, the usual way to damp scheduler noise.
+//
+// Input (and -baseline) files may also be JSON: a benchjson File passes
+// through unchanged, and a cmd/loadgen artifact (detected by its "loadgen"
+// key) is converted into pseudo-benchmarks — the ingest and close-lag
+// latency quantiles as loadgen.Ingest/pNN and loadgen.CloseLag/pNN — so
+// LOAD_N.json artifacts ride the same markdown/baseline machinery as
+// BENCH_N.json:
+//
+//	go run ./cmd/loadgen -o LOAD_6.json
+//	benchjson -md -baseline LOAD_5.json LOAD_6.json
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -123,6 +134,80 @@ func parseBench(r io.Reader) (File, error) {
 		return f.Benchmarks[a].Name < f.Benchmarks[b].Name
 	})
 	return f, nil
+}
+
+// loadQuantiles mirrors one quantile block of a cmd/loadgen artifact.
+type loadQuantiles struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// loadgenDoc is the subset of a cmd/loadgen LOAD_N.json artifact benchjson
+// consumes. The presence of the "loadgen" key is what distinguishes the
+// artifact from a benchjson File.
+type loadgenDoc struct {
+	GOOS    string `json:"goos"`
+	GOARCH  string `json:"goarch"`
+	CPU     string `json:"cpu"`
+	Loadgen *struct {
+		Ingest   loadQuantiles `json:"ingest_ns"`
+		CloseLag loadQuantiles `json:"close_lag_ns"`
+	} `json:"loadgen"`
+}
+
+// loadgenPkg is the pseudo-package loadgen metrics are filed under; its
+// shortPkg rendering prefixes the table rows ("loadgen.Ingest/p50").
+const loadgenPkg = "repro/loadgen"
+
+// parseJSONDoc interprets a JSON input: a benchjson File verbatim, or a
+// cmd/loadgen artifact converted to pseudo-benchmarks (one sample each,
+// ns_per_op = the quantile, runs = the sample count behind it). Zero-valued
+// quantiles (no samples) are omitted rather than recorded as 0 ns.
+func parseJSONDoc(data []byte) (File, error) {
+	var doc loadgenDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return File{}, err
+	}
+	if doc.Loadgen == nil {
+		var f File
+		err := json.Unmarshal(data, &f)
+		return f, err
+	}
+	f := File{GOOS: doc.GOOS, GOARCH: doc.GOARCH, CPU: doc.CPU}
+	add := func(group string, q loadQuantiles) {
+		for _, m := range []struct {
+			name string
+			ns   float64
+		}{{"p50", q.P50}, {"p90", q.P90}, {"p99", q.P99}} {
+			if m.ns <= 0 {
+				continue
+			}
+			f.Benchmarks = append(f.Benchmarks, Benchmark{
+				Pkg:     loadgenPkg,
+				Name:    group + "/" + m.name,
+				Samples: []Sample{{Runs: q.Count, NsPerOp: m.ns}},
+			})
+		}
+	}
+	add("Ingest", doc.Loadgen.Ingest)
+	add("CloseLag", doc.Loadgen.CloseLag)
+	sort.Slice(f.Benchmarks, func(a, b int) bool { return f.Benchmarks[a].Name < f.Benchmarks[b].Name })
+	return f, nil
+}
+
+// parseInput reads bench text or a JSON document (File or loadgen
+// artifact), detected by the leading byte.
+func parseInput(r io.Reader) (File, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return File{}, err
+	}
+	if t := bytes.TrimSpace(data); len(t) > 0 && t[0] == '{' {
+		return parseJSONDoc(t)
+	}
+	return parseBench(bytes.NewReader(data))
 }
 
 // normalizeName strips the trailing -GOMAXPROCS suffix go test appends
@@ -251,11 +336,11 @@ func loadBaseline(path string) (*File, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	base := &File{}
-	if err := json.Unmarshal(data, base); err != nil {
+	f, err := parseJSONDoc(data)
+	if err != nil {
 		return nil, "", fmt.Errorf("baseline: %w", err)
 	}
-	return base, "", nil
+	return &f, "", nil
 }
 
 func main() {
@@ -274,7 +359,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	cur, err := parseBench(in)
+	cur, err := parseInput(in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

@@ -136,3 +136,86 @@ func TestLoadBaselineMissing(t *testing.T) {
 		t.Fatalf("good baseline: base=%+v note=%q err=%v", base, note, err)
 	}
 }
+
+const loadgenArtifact = `{
+  "goos": "linux", "goarch": "amd64",
+  "loadgen": {
+    "config": {"feeds": 4},
+    "ingest_ns": {"count": 32, "p50": 21000000, "p90": 31000000, "p99": 50000000, "max": 51000000},
+    "close_lag_ns": {"count": 1660, "p50": 33000000, "p90": 59000000, "p99": 72000000, "max": 73000000},
+    "shed": {"http_429": 0, "retries": 0},
+    "peak_rss_bytes": 19148800
+  }
+}`
+
+func TestParseInputLoadgenArtifact(t *testing.T) {
+	f, err := parseInput(strings.NewReader(loadgenArtifact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GOOS != "linux" || f.GOARCH != "amd64" {
+		t.Fatalf("env header: %+v", f)
+	}
+	// p50/p90/p99 for both quantile groups, sorted by name.
+	wantNames := []string{"CloseLag/p50", "CloseLag/p90", "CloseLag/p99", "Ingest/p50", "Ingest/p90", "Ingest/p99"}
+	if len(f.Benchmarks) != len(wantNames) {
+		t.Fatalf("converted %d pseudo-benchmarks, want %d: %+v", len(f.Benchmarks), len(wantNames), f.Benchmarks)
+	}
+	for i, b := range f.Benchmarks {
+		if b.Name != wantNames[i] || b.Pkg != loadgenPkg {
+			t.Fatalf("benchmark %d: %+v, want name %s", i, b, wantNames[i])
+		}
+	}
+	ingest50 := f.Benchmarks[3]
+	if ingest50.best() != 21000000 || ingest50.Samples[0].Runs != 32 {
+		t.Fatalf("Ingest/p50: %+v", ingest50)
+	}
+}
+
+func TestParseInputFilePassthrough(t *testing.T) {
+	// A File-shaped JSON document (no "loadgen" key) passes through intact.
+	f, err := parseInput(strings.NewReader(`{"cpu":"x","benchmarks":[{"pkg":"p","name":"BenchmarkX","samples":[{"runs":1,"ns_per_op":42}]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.CPU != "x" || len(f.Benchmarks) != 1 || f.Benchmarks[0].best() != 42 {
+		t.Fatalf("passthrough: %+v", f)
+	}
+	// Bench text still parses through the same entry point.
+	f, err = parseInput(strings.NewReader(benchOutput))
+	if err != nil || len(f.Benchmarks) != 3 {
+		t.Fatalf("text input: %+v, %v", f, err)
+	}
+}
+
+func TestLoadgenBaselineMarkdown(t *testing.T) {
+	// A LOAD_N.json works as -baseline: write it, load it, and diff a run
+	// whose ingest p50 halved.
+	path := filepath.Join(t.TempDir(), "LOAD_5.json")
+	if err := os.WriteFile(path, []byte(loadgenArtifact), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, note, err := loadBaseline(path)
+	if err != nil || note != "" || base == nil {
+		t.Fatalf("loadgen baseline: %v %q %v", base, note, err)
+	}
+	cur, err := parseInput(strings.NewReader(strings.Replace(loadgenArtifact, `"p50": 21000000`, `"p50": 10500000`, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	markdown(&sb, cur, base)
+	if !strings.Contains(sb.String(), "| loadgen.Ingest/p50 | 21.00ms | 10.50ms | -50.0% |") {
+		t.Fatalf("missing loadgen delta row:\n%s", sb.String())
+	}
+}
+
+func TestParseJSONDocSkipsZeroQuantiles(t *testing.T) {
+	f, err := parseJSONDoc([]byte(`{"loadgen":{"ingest_ns":{"count":5,"p50":100,"p90":0,"p99":200},"close_lag_ns":{"count":0}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("zero quantiles recorded: %+v", f.Benchmarks)
+	}
+}

@@ -80,16 +80,26 @@ func (s *StreamMiner) Observe(t int32, positions []ObjPos) error {
 }
 
 // resolveDuplicates applies the duplicate-OID rule documented on Observe.
-// The common duplicate-free case is one map pass and no allocation.
 func (s *StreamMiner) resolveDuplicates(positions []ObjPos) []ObjPos {
-	clear(s.dupChk)
+	return canonPositions(s.dupChk, positions)
+}
+
+// canonPositions applies the duplicate-OID rule every streaming pattern
+// miner shares (see StreamMiner.Observe): duplicate OIDs are canonicalized
+// exactly as model.NewDataset canonicalizes a tick — stable-sorted by OID,
+// keeping the last occurrence — so streaming a feed with duplicate fixes
+// yields byte-identical results to batch-mining the same records. dupChk is
+// a caller-owned scratch map, cleared here; the common duplicate-free case
+// is one map pass and no allocation, and the input is never modified.
+func canonPositions(dupChk map[int32]struct{}, positions []ObjPos) []ObjPos {
+	clear(dupChk)
 	dup := false
 	for _, p := range positions {
-		if _, ok := s.dupChk[p.OID]; ok {
+		if _, ok := dupChk[p.OID]; ok {
 			dup = true
 			break
 		}
-		s.dupChk[p.OID] = struct{}{}
+		dupChk[p.OID] = struct{}{}
 	}
 	if !dup {
 		return positions
