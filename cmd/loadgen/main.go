@@ -14,12 +14,19 @@
 // and is flushed at the end. Concurrent long-pollers timestamp every
 // closed pattern as it becomes observable.
 //
+// With -query-rate N the run also hammers the historical query endpoints
+// (GET /v1/query/*, rotating the three shapes) at N requests/sec while
+// ingest is running — the mixed read/write workload the archive's
+// lock-free read path exists for. The in-process server then gets a
+// temp-dir archive; a remote -addr server must have one configured.
+//
 // The artifact records ingest latency quantiles (p50/p90/p99/max over
 // accepted requests), pattern-close lag quantiles (time from accepting the
 // batch that made a pattern closable — its gap tick, or the flush — to the
-// pattern arriving on a poll), 429 shed/retry counts, peak RSS (VmHWM; the
-// whole process, i.e. client+server in the default in-process mode), and
-// the server's per-pattern /v1/stats counters.
+// pattern arriving on a poll), query latency quantiles and the archive
+// block-cache hit rate (with -query-rate), 429 shed/retry counts, peak RSS
+// (VmHWM; the whole process, i.e. client+server in the default in-process
+// mode), and the server's per-pattern /v1/stats counters.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -65,6 +73,7 @@ type config struct {
 	eps         float64
 	shards      int
 	queue       int
+	queryRate   float64
 }
 
 func parseFlags(args []string) (config, error) {
@@ -89,8 +98,12 @@ func parseFlags(args []string) (config, error) {
 	fs.Float64Var(&cfg.eps, "eps", 40, "clustering radius (in-process server; Brinkhoff space is 2000x2000)")
 	fs.IntVar(&cfg.shards, "shards", 4, "shard actors (in-process server)")
 	fs.IntVar(&cfg.queue, "queue", 64, "per-shard queue capacity (in-process server)")
+	fs.Float64Var(&cfg.queryRate, "query-rate", 0, "GET /v1/query/* requests/sec during ingest (0 = none; in-process server gets a temp-dir archive)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
+	}
+	if cfg.queryRate < 0 {
+		return cfg, errors.New("loadgen: -query-rate must be >= 0")
 	}
 	if cfg.feeds < 1 || cfg.ticks < 1 || cfg.batch < 1 || cfg.objects < 0 || cfg.objPerTick < 0 {
 		return cfg, errors.New("loadgen: -feeds, -ticks and -batch must be >= 1; -objects and -obj-tick >= 0")
@@ -177,17 +190,22 @@ type patternCount struct {
 
 // report is the "loadgen" object of the artifact.
 type report struct {
-	Config        config                  `json:"-"`
-	ConfigJSON    map[string]any          `json:"config"`
-	WallNs        int64                   `json:"wall_ns"`
-	Ingest        quantiles               `json:"ingest_ns"`
-	CloseLag      quantiles               `json:"close_lag_ns"`
-	Shed          shedCounts              `json:"shed"`
-	PeakRSSBytes  int64                   `json:"peak_rss_bytes"`
-	TicksSent     int64                   `json:"ticks_sent"`
-	PointsSent    int64                   `json:"points_sent"`
-	ConvoysClosed int64                   `json:"convoys_closed"`
-	Patterns      map[string]patternCount `json:"patterns"`
+	Config     config         `json:"-"`
+	ConfigJSON map[string]any `json:"config"`
+	WallNs     int64          `json:"wall_ns"`
+	Ingest     quantiles      `json:"ingest_ns"`
+	CloseLag   quantiles      `json:"close_lag_ns"`
+	// Query summarises the GET /v1/query/* latencies of a -query-rate run,
+	// and QueryCacheHitRate the archive block cache's hits/(hits+misses)
+	// over the same window; both are zero without -query-rate.
+	Query             quantiles               `json:"query_ns"`
+	QueryCacheHitRate float64                 `json:"query_cache_hit_rate,omitempty"`
+	Shed              shedCounts              `json:"shed"`
+	PeakRSSBytes      int64                   `json:"peak_rss_bytes"`
+	TicksSent         int64                   `json:"ticks_sent"`
+	PointsSent        int64                   `json:"points_sent"`
+	ConvoysClosed     int64                   `json:"convoys_closed"`
+	Patterns          map[string]patternCount `json:"patterns"`
 }
 
 // artifact is the document benchjson understands: the same env header as a
@@ -198,11 +216,13 @@ type artifact struct {
 	Loadgen report `json:"loadgen"`
 }
 
-// metrics aggregates measurements across all feed workers and pollers.
+// metrics aggregates measurements across all feed workers, pollers and
+// query hammers.
 type metrics struct {
 	mu       sync.Mutex
 	ingestNs []float64
 	lagNs    []float64
+	queryNs  []float64
 	shed     shedCounts
 	ticks    int64
 	points   int64
@@ -253,9 +273,13 @@ type convoysResponse struct {
 	Flushed bool `json:"flushed"`
 }
 
-// statsResponse mirrors the per-pattern section of GET /v1/stats.
+// statsResponse mirrors the sections of GET /v1/stats loadgen consumes.
 type statsResponse struct {
 	Patterns map[string]patternCount `json:"patterns"`
+	Archive  *struct {
+		BlockCacheHits   int64 `json:"block_cache_hits_total"`
+		BlockCacheMisses int64 `json:"block_cache_misses_total"`
+	} `json:"archive"`
 }
 
 func main() {
@@ -311,8 +335,17 @@ func run(cfg config) (*artifact, error) {
 	}
 
 	start := time.Now()
-	errs := make(chan error, 2*cfg.feeds)
+	errs := make(chan error, 2*cfg.feeds+1)
 	var wg sync.WaitGroup
+	stopQueries := make(chan struct{})
+	var queryWg sync.WaitGroup
+	if cfg.queryRate > 0 {
+		queryWg.Add(1)
+		go func() {
+			defer queryWg.Done()
+			errs <- hammerQueries(client, base, cfg, stopQueries, mets)
+		}()
+	}
 	for i, fr := range runs {
 		wg.Add(2)
 		go func(i int, fr *feedRun) {
@@ -325,6 +358,8 @@ func run(cfg config) (*artifact, error) {
 		}(fr)
 	}
 	wg.Wait()
+	close(stopQueries)
+	queryWg.Wait()
 	close(errs)
 	for err := range errs {
 		if err != nil {
@@ -343,13 +378,14 @@ func run(cfg config) (*artifact, error) {
 			"feeds": cfg.feeds, "objects": cfg.objects, "obj_tick": cfg.objPerTick,
 			"ticks": cfg.ticks, "pattern_mix": cfg.mix, "batch": cfg.batch,
 			"ooo": cfg.ooo, "window": cfg.window, "rate": cfg.rate,
-			"burst": cfg.burst, "seed": cfg.seed,
+			"burst": cfg.burst, "seed": cfg.seed, "query_rate": cfg.queryRate,
 			"m": cfg.m, "k": cfg.k, "eps": cfg.eps, "shards": cfg.shards,
 			"in_process": cfg.addr == "",
 		},
 		WallNs:        wall.Nanoseconds(),
 		Ingest:        summarize(mets.ingestNs),
 		CloseLag:      summarize(mets.lagNs),
+		Query:         summarize(mets.queryNs),
 		Shed:          mets.shed,
 		PeakRSSBytes:  peakRSS(),
 		TicksSent:     mets.ticks,
@@ -357,32 +393,92 @@ func run(cfg config) (*artifact, error) {
 		ConvoysClosed: mets.convoys,
 		Patterns:      stats.Patterns,
 	}
+	if a := stats.Archive; a != nil && a.BlockCacheHits+a.BlockCacheMisses > 0 {
+		rep.QueryCacheHitRate = float64(a.BlockCacheHits) /
+			float64(a.BlockCacheHits+a.BlockCacheMisses)
+	}
 	return &artifact{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, Loadgen: rep}, nil
 }
 
 // startInProcess serves convoyd on a loopback port inside this process.
+// With -query-rate the server also gets a throwaway archive (the query
+// endpoints need one), persisted aggressively so queries have data to hit
+// while ingest is still running.
 func startInProcess(cfg config) (string, func() error, error) {
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		Params:   convoy.Params{M: cfg.m, K: cfg.k, Eps: cfg.eps},
 		Shards:   cfg.shards,
 		QueueLen: cfg.queue,
 		Window:   int32(cfg.window),
-	})
+	}
+	cleanup := func() {}
+	if cfg.queryRate > 0 {
+		dir, err := os.MkdirTemp("", "loadgen-archive-")
+		if err != nil {
+			return "", nil, err
+		}
+		scfg.PersistPath = filepath.Join(dir, "closed.k2cl")
+		scfg.ArchiveDir = filepath.Join(dir, "archive")
+		scfg.PersistEvery = 25 * time.Millisecond
+		cleanup = func() { os.RemoveAll(dir) }
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
+		cleanup()
 		return "", nil, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		srv.Close()
+		cleanup()
 		return "", nil, err
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(ln)
 	shutdown := func() error {
 		hs.Close()
-		return srv.Close()
+		err := srv.Close()
+		cleanup()
+		return err
 	}
 	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// hammerQueries issues GET /v1/query/* requests at cfg.queryRate per
+// second, rotating the three query shapes, until stop closes. Successful
+// page latencies feed the metrics; any non-200 fails the run (a remote
+// -addr server must have an archive configured).
+func hammerQueries(client *http.Client, base string, cfg config, stop <-chan struct{}, mets *metrics) error {
+	urls := []string{
+		fmt.Sprintf("%s/v1/query/time?from=0&to=%d", base, cfg.ticks),
+		base + "/v1/query/object?oid=1",
+		base + "/v1/query/convoys?min_size=2",
+	}
+	per := time.Duration(float64(time.Second) / cfg.queryRate)
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		begin := time.Now()
+		resp, err := client.Get(urls[i%len(urls)])
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("query status %d (is an archive configured on the -addr server?)", resp.StatusCode)
+		}
+		took := time.Since(begin)
+		mets.mu.Lock()
+		mets.queryNs = append(mets.queryNs, float64(took.Nanoseconds()))
+		mets.mu.Unlock()
+		if d := per - took; d > 0 {
+			time.Sleep(d)
+		}
+	}
 }
 
 // driveFeed generates one feed's Brinkhoff traffic and streams it in K2BI
@@ -515,6 +611,22 @@ func pollFeed(client *http.Client, base string, fr *feedRun, mets *metrics) erro
 			time.Sleep(5 * time.Millisecond)
 			continue
 		}
+		if resp.StatusCode == http.StatusGone {
+			// A persisting server (always the case with -query-rate)
+			// truncates published history once it reaches the log; a poller
+			// that falls behind restarts from the feed's truncated_before,
+			// as the cursor contract prescribes. The skipped convoys are in
+			// the log/archive — only their close-lag samples are lost.
+			tb, err := truncatedBefore(client, base, fr.name)
+			if err != nil {
+				return fmt.Errorf("feed %s: 410 recovery: %w", fr.name, err)
+			}
+			if tb <= cursor {
+				return fmt.Errorf("feed %s: poll status 410 outside truncation (domain start %d): %s", fr.name, tb, data)
+			}
+			cursor = tb
+			continue
+		}
 		if resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("feed %s: poll status %d: %s", fr.name, resp.StatusCode, data)
 		}
@@ -538,6 +650,32 @@ func pollFeed(client *http.Client, base string, fr *feedRun, mets *metrics) erro
 			return nil
 		}
 	}
+}
+
+// truncatedBefore reads one feed's live-cursor-domain lower bound from
+// /v1/stats (the machine-readable form of the 410 error's prose).
+func truncatedBefore(client *http.Client, base, feed string) (int, error) {
+	var st struct {
+		Feeds map[string]struct {
+			TruncatedBefore int `json:"truncated_before"`
+		} `json:"feeds"`
+	}
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("stats status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, err
+	}
+	f, ok := st.Feeds[feed]
+	if !ok {
+		return 0, fmt.Errorf("feed %s missing from stats", feed)
+	}
+	return f.TruncatedBefore, nil
 }
 
 func fetchStats(client *http.Client, base string) (statsResponse, error) {

@@ -217,10 +217,12 @@ func TestArchiveRequiresPersist(t *testing.T) {
 }
 
 // TestQuerySoakNeverBlocksIngest sustains ingest over several feeds while
-// hammering every query endpoint. The ingest path must see zero
-// backpressure beyond what PR 3's configuration saw without queries (here:
-// none at all), queries must all succeed, and afterwards the archive must
-// byte-identically mirror a brute-force scan of the convoy log.
+// eight parallel readers hammer every query endpoint. The ingest path must
+// see zero backpressure beyond what PR 3's configuration saw without
+// queries (here: none at all), queries must all succeed, the archive's
+// reader gauges must drain back to zero once the hammering stops, and
+// afterwards the archive must byte-identically mirror a brute-force scan
+// of the convoy log.
 func TestQuerySoakNeverBlocksIngest(t *testing.T) {
 	dir := t.TempDir()
 	logPath := filepath.Join(dir, "closed.k2cl")
@@ -272,7 +274,7 @@ func TestQuerySoakNeverBlocksIngest(t *testing.T) {
 			flushFeed(t, base, name)
 		}(f)
 	}
-	for q := 0; q < 4; q++ {
+	for q := 0; q < 8; q++ {
 		queryWg.Add(1)
 		go func(q int) {
 			defer queryWg.Done()
@@ -309,6 +311,20 @@ func TestQuerySoakNeverBlocksIngest(t *testing.T) {
 	}
 	if n := queryErrs.Load(); n != 0 {
 		t.Fatalf("%d queries failed during the soak", n)
+	}
+
+	// Every page releases its read view on completion: with the hammering
+	// stopped, the snapshot/reader gauges must have drained to zero.
+	var st Stats
+	if code := getJSON(t, base+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats after soak: status %d", code)
+	}
+	if st.Archive == nil {
+		t.Fatal("stats missing archive section")
+	}
+	if st.Archive.LiveReaders != 0 || st.Archive.LiveSnapshots != 0 {
+		t.Fatalf("reader gauges not drained: live_readers=%d live_snapshots=%d",
+			st.Archive.LiveReaders, st.Archive.LiveSnapshots)
 	}
 
 	// Drain everything to disk, then diff archive against the log.

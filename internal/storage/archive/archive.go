@@ -88,9 +88,10 @@ var ErrDiverged = errors.New("archive: convoy log diverged from archived prefix"
 
 // Options tunes an archive.
 type Options struct {
-	// CacheBytes is the combined in-memory write-buffer budget of the
-	// three secondary indexes (a third each); larger values mean fewer,
-	// bigger SSTable flushes. Default 12 MiB.
+	// CacheBytes is the combined in-memory budget of the three secondary
+	// indexes: each gets a quarter as its write buffer (larger values mean
+	// fewer, bigger SSTable flushes) and a twelfth as its block cache for
+	// the read path (3×1/4 + 3×1/12 = the whole budget). Default 12 MiB.
 	CacheBytes int
 }
 
@@ -146,16 +147,21 @@ type Archive struct {
 
 	mu       sync.RWMutex
 	recs     *storage.ConvoyLog
-	recsRead *os.File // positioned-read handle for query materialisation
-	live     int64    // records currently in the records file
-	nextSeq  int64    // next sequence number to assign; never reused
-	synced   int64    // durable byte size of the records file
-	crc      uint32   // IEEE CRC over the file's records' encoded bytes, in order
-	flushed  int64    // records covered by META (durably indexed)
+	recsRead *readFile // refcounted pread handle for query materialisation
+	live     int64     // records currently in the records file
+	nextSeq  int64     // next sequence number to assign; never reused
+	synced   int64     // durable byte size of the records file
+	crc      uint32    // IEEE CRC over the file's records' encoded bytes, in order
+	flushed  int64     // records covered by META (durably indexed)
 	timeIdx  *lsm.DB
 	objIdx   *lsm.DB
 	sizeIdx  *lsm.DB
 	closed   bool
+
+	// rewriteGen counts records-file swaps (retention rewrites). A query
+	// that captured its view before a swap uses it to tell "this offset is
+	// stale because retention moved the record" apart from real corruption.
+	rewriteGen atomic.Int64
 
 	// Retention state (see retention.go). expiredBefore is the durable
 	// watermark: records with End below it are expired and new arrivals
@@ -165,10 +171,37 @@ type Archive struct {
 	maxEnd        int32
 	expiredTotal  int64
 
-	// Query-side counters, exposed via Stats.
+	// Query-side counters, exposed via Stats. liveReaders gauges query
+	// pages currently holding a read view (see beginRead).
 	queries        atomic.Int64
 	entriesScanned atomic.Int64
 	recordsRead    atomic.Int64
+	liveReaders    atomic.Int64
+}
+
+// readFile is the refcounted pread handle over the records file. Queries
+// pin it for the duration of a page so a retention rewrite — which renames
+// a survivors-only file over records.k2cl and opens fresh handles — cannot
+// close the old inode out from under an in-flight read: the pinned handle
+// keeps serving the pre-rewrite bytes, which is exactly the file the
+// reader's captured index offsets describe.
+type readFile struct {
+	f    *os.File
+	refs atomic.Int32
+}
+
+func newReadFile(f *os.File) *readFile {
+	r := &readFile{f: f}
+	r.refs.Store(1) // the archive's own reference
+	return r
+}
+
+func (r *readFile) ref() { r.refs.Add(1) }
+
+func (r *readFile) unref() {
+	if r.refs.Add(-1) == 0 {
+		r.f.Close()
+	}
 }
 
 // Open opens (or creates) the archive in dir, replaying through the
@@ -225,11 +258,13 @@ func Open(dir string, opts *Options) (*Archive, error) {
 	}
 	a.recs = recs
 	a.synced = recs.Offset()
-	if a.recsRead, err = os.Open(recsPath); err != nil {
+	rf, err := os.Open(recsPath)
+	if err != nil {
 		recs.Close()
 		a.closeIndexes()
 		return nil, fmt.Errorf("archive: open read handle: %w", err)
 	}
+	a.recsRead = newReadFile(rf)
 	a.flushed = min(m.Records, a.live)
 	// A watermark higher than the oldest live record means a crash
 	// interrupted an Expire before its records-file rewrite committed (a
@@ -244,7 +279,7 @@ func Open(dir string, opts *Options) (*Archive, error) {
 				a.recs.Close()
 			}
 			if a.recsRead != nil {
-				a.recsRead.Close()
+				a.recsRead.unref()
 			}
 			return nil, fmt.Errorf("archive: complete interrupted expiry: %w", err)
 		}
@@ -270,7 +305,10 @@ func (a *Archive) openIndexes() error {
 }
 
 func (a *Archive) indexOpts() *lsm.Options {
-	return &lsm.Options{MemtableBytes: a.opts.CacheBytes / 3}
+	return &lsm.Options{
+		MemtableBytes:   a.opts.CacheBytes / 4,
+		BlockCacheBytes: a.opts.CacheBytes / 12,
+	}
 }
 
 func (a *Archive) closeIndexes() {
@@ -659,9 +697,9 @@ func (a *Archive) Close() error {
 	if err := a.recs.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
-	if err := a.recsRead.Close(); err != nil && firstErr == nil {
-		firstErr = err
-	}
+	// Drop the archive's reference; the handle closes once the last
+	// in-flight query page releases its pin.
+	a.recsRead.unref()
 	return firstErr
 }
 
@@ -691,6 +729,20 @@ type Stats struct {
 	QueriesTotal   int64 `json:"queries_total"`
 	EntriesScanned int64 `json:"index_entries_scanned_total"`
 	RecordsRead    int64 `json:"records_read_total"`
+	// Read-path counters, summed across the three secondary indexes.
+	// BloomHits counts point lookups a bloom filter short-circuited (key
+	// proved absent with no block read); BloomMisses counts lookups that
+	// passed a filter through to a data block. BlockCache{Hits,Misses}
+	// count data-block lookups in the shared sharded caches.
+	BloomHits        int64 `json:"bloom_hits_total"`
+	BloomMisses      int64 `json:"bloom_misses_total"`
+	BlockCacheHits   int64 `json:"block_cache_hits_total"`
+	BlockCacheMisses int64 `json:"block_cache_misses_total"`
+	// LiveSnapshots gauges LSM snapshots currently pinned by readers
+	// (summed across the indexes); LiveReaders gauges query pages holding
+	// a read view right now. Both drain to zero at idle.
+	LiveSnapshots int64 `json:"live_snapshots"`
+	LiveReaders   int64 `json:"live_readers"`
 	// ExpiredTotal counts records removed by retention since this process
 	// opened the archive; ExpiredBefore is the durable watermark (absent
 	// until the first expiry — convoys with End below it are gone).
@@ -709,7 +761,16 @@ func (a *Archive) Stats() Stats {
 		QueriesTotal:   a.queries.Load(),
 		EntriesScanned: a.entriesScanned.Load(),
 		RecordsRead:    a.recordsRead.Load(),
+		LiveReaders:    a.liveReaders.Load(),
 		ExpiredTotal:   a.expiredTotal,
+	}
+	for _, db := range []*lsm.DB{a.timeIdx, a.objIdx, a.sizeIdx} {
+		rs := db.ReadStats()
+		st.BloomHits += rs.BloomHits
+		st.BloomMisses += rs.BloomMisses
+		st.BlockCacheHits += rs.BlockCacheHits
+		st.BlockCacheMisses += rs.BlockCacheMisses
+		st.LiveSnapshots += rs.LiveSnapshots
 	}
 	if a.expiredBefore != math.MinInt32 {
 		w := a.expiredBefore

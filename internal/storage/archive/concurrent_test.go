@@ -1,0 +1,231 @@
+package archive
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+// Concurrent-reader soak: N readers page all three query shapes while a
+// writer keeps archiving batches. No page may error, and once the dust
+// settles the full paged result sets must be byte-identical to the
+// brute-force scan of everything written — the same differential idiom as
+// the 60-log suite, now with the pages that ran mid-ingest only required
+// to not fail (cursor contract: concurrent arrivals may or may not appear).
+func TestArchiveConcurrentReadersSoak(t *testing.T) {
+	dir := t.TempDir()
+	// Small cache: real SSTable flushes and block-cache traffic mid-soak.
+	a, err := Open(dir, &Options{CacheBytes: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	all := genRecords(99, 4000, 13)
+	const (
+		readers   = 6
+		batchSize = 50
+	)
+	var (
+		stop     atomic.Bool
+		readErrs atomic.Int64
+		wg       sync.WaitGroup
+	)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int32) {
+			defer wg.Done()
+			for i := int32(0); !stop.Load(); i++ {
+				var err error
+				switch (seed + i) % 3 {
+				case 0:
+					_, err = a.QueryTime(-20, 120, Query{Limit: 40})
+				case 1:
+					_, err = a.QueryObject((seed+i)%64-8, Query{Limit: 40})
+				default:
+					_, err = a.QueryConvoys(Query{MinSize: int(i % 8), Limit: 40})
+				}
+				if err != nil {
+					readErrs.Add(1)
+					return
+				}
+			}
+		}(int32(r))
+	}
+	for i := 0; i < len(all); i += batchSize {
+		end := min(i+batchSize, len(all))
+		if err := a.AddBatch(all[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stop.Store(true)
+	wg.Wait()
+	if n := readErrs.Load(); n != 0 {
+		t.Fatalf("%d query errors during concurrent soak", n)
+	}
+
+	// Quiescent differential: paged results ≡ brute force, byte-identical.
+	iv := model.Interval{Start: -20, End: 120}
+	got := collect(t, func(q Query) (Result, error) { return a.QueryTime(-20, 120, q) }, Query{Limit: 64})
+	sameSet(t, "time after soak", got, brute(all, Query{}, &iv, nil))
+	oid := int32(7)
+	got = collect(t, func(q Query) (Result, error) { return a.QueryObject(oid, q) }, Query{Limit: 64})
+	sameSet(t, "object after soak", got, brute(all, Query{}, nil, &oid))
+
+	// Both reader gauges must drain to zero.
+	st := a.Stats()
+	if st.LiveReaders != 0 || st.LiveSnapshots != 0 {
+		t.Fatalf("gauges not drained: live_readers=%d live_snapshots=%d", st.LiveReaders, st.LiveSnapshots)
+	}
+	if st.BlockCacheHits+st.BlockCacheMisses == 0 {
+		t.Fatal("block cache never touched during soak")
+	}
+}
+
+// A read view captured before an Expire must keep reading the pre-rewrite
+// records file: the rename swaps the path to a survivors-only file, but the
+// view's pinned handle holds the old inode — captured offsets stay valid
+// and decode to the original bytes. This is the reader-vs-retention
+// interleaving proof (no file yanked while a view references it).
+func TestArchiveReadViewSurvivesExpire(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// Two generations: End=10 (will expire) and End=100 (survives).
+	old := storage.LoggedConvoy{Feed: "tokyo", Convoy: model.NewConvoy(model.NewObjSet(1, 2, 3), 5, 10)}
+	young := storage.LoggedConvoy{Feed: "osaka", Convoy: model.NewConvoy(model.NewObjSet(4, 5, 6), 95, 100)}
+	if err := a.AddBatch([]storage.LoggedConvoy{old, young}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture a view and the expiring record's offset through it.
+	view, err := a.beginRead(a.timeIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oldOff int64 = -1
+	err = view.snap.Scan(minIndexKey(), func(k, v []byte) bool {
+		hi, _ := storage.DecodeKey(k)
+		if hi == 10 {
+			oldOff, _, _ = decodeLocator(v)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldOff < 0 {
+		t.Fatal("expiring record not found in captured index view")
+	}
+
+	// Expire it while the view is held.
+	removed, err := a.Expire(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("Expire removed %d records, want 1", removed)
+	}
+
+	// The pinned handle still serves the pre-rewrite bytes at the captured
+	// offset, even though the path now names the survivors-only file.
+	rec, err := storage.ReadConvoyAt(view.recs.f, oldOff)
+	if err != nil {
+		t.Fatalf("pinned read after expire: %v", err)
+	}
+	if rec.Feed != "tokyo" || rec.Convoy.End != 10 {
+		t.Fatalf("pinned read returned %q end=%d, want the expired record", rec.Feed, rec.Convoy.End)
+	}
+
+	// Fresh queries see only the survivor; the view's release drops the
+	// last reference to the old inode.
+	res, err := a.QueryTime(-100, 200, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 1 || res.Records[0].Convoy.End != 100 {
+		t.Fatalf("post-expire query returned %d records, want the one survivor", len(res.Records))
+	}
+	view.close()
+	if got := view.recs.refs.Load(); got != 0 {
+		t.Fatalf("old read handle refs = %d after view close, want 0", got)
+	}
+	if st := a.Stats(); st.LiveReaders != 0 || st.LiveSnapshots != 0 {
+		t.Fatalf("gauges not drained: live_readers=%d live_snapshots=%d", st.LiveReaders, st.LiveSnapshots)
+	}
+}
+
+// Queries racing Expire must never error: a page that straddles the
+// rewrite either reads its captured pre-rewrite view coherently or drops
+// records the rewrite relocated (rewriteGen guard) — it must not fail, and
+// every record it does return must be one that was archived.
+func TestArchiveQueriesRaceExpire(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	valid := make(map[string]bool)
+	recs := genRecords(7, 1500, 0)
+	for i, r := range recs {
+		// Spread End ticks so successive Expire calls always have victims.
+		r.Convoy = model.NewConvoy(r.Convoy.Objs, int32(i/10), int32(i/10)+int32(r.Convoy.Len())-1)
+		recs[i] = r
+		valid[r.Feed+"\x00"+r.Convoy.Key()] = true
+	}
+	if err := a.AddBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		stop     atomic.Bool
+		failures atomic.Int64
+		wg       sync.WaitGroup
+	)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int32) {
+			defer wg.Done()
+			for i := int32(0); !stop.Load(); i++ {
+				res, err := a.QueryTime(-100, 1<<30, Query{Limit: 50, Budget: 2000})
+				if err != nil {
+					t.Errorf("query during expire race: %v", err)
+					failures.Add(1)
+					return
+				}
+				for _, rec := range res.Records {
+					if !valid[rec.Feed+"\x00"+rec.Convoy.Key()] {
+						t.Errorf("query returned a record that was never archived: %q", rec.Convoy.Key())
+						failures.Add(1)
+						return
+					}
+				}
+			}
+		}(int32(r))
+	}
+	// Ratchet the watermark up through the key space, forcing repeated
+	// records-file rewrites under the readers.
+	for w := int32(10); w <= 150; w += 10 {
+		if _, err := a.Expire(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatal("reader failures during expire race")
+	}
+	if st := a.Stats(); st.LiveReaders != 0 || st.LiveSnapshots != 0 {
+		t.Fatalf("gauges not drained: live_readers=%d live_snapshots=%d", st.LiveReaders, st.LiveSnapshots)
+	}
+}

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/pool"
 	"repro/internal/storage"
+	"repro/internal/storage/lsm"
 )
 
 // Query carries the predicate and paging controls shared by the three
@@ -168,6 +170,56 @@ type locator struct {
 	dur  int32
 }
 
+// readView is the atomically captured state one query page reads: an LSM
+// snapshot of the index, a pinned handle on the records file, and the
+// stale-entry guards (nextSeq, synced) that match them. Everything is
+// captured under one brief a.mu read-lock acquisition; the page itself then
+// runs with NO archive lock held, so a slow (cold-cache, big-budget) page
+// cannot stall the archiver's writes, retention, or other queries.
+//
+// Coherence: the index snapshot pins the index exactly as of capture
+// (entries put later are filtered by the seq/synced guards), and the pinned
+// read handle keeps the records file AS OF CAPTURE readable even if a
+// racing retention rewrite renames a survivors-only file over the path —
+// the captured offsets describe the pinned inode, not the new one. Records
+// archived after capture may or may not appear, exactly the cursor
+// contract's wording for concurrent appends.
+type readView struct {
+	a       *Archive
+	snap    *lsm.Snapshot
+	recs    *readFile
+	nextSeq int64
+	synced  int64
+	gen     int64
+}
+
+// beginRead captures a read view against idx. The caller must close it.
+func (a *Archive) beginRead(idx *lsm.DB) (*readView, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.closed {
+		return nil, errors.New("archive: closed")
+	}
+	snap, err := idx.AcquireSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	a.recsRead.ref()
+	a.liveReaders.Add(1)
+	return &readView{
+		a: a, snap: snap, recs: a.recsRead,
+		nextSeq: a.nextSeq, synced: a.synced, gen: a.rewriteGen.Load(),
+	}, nil
+}
+
+// close releases the view's pins. Idempotence is not needed — each page
+// closes its view exactly once, via defer.
+func (v *readView) close() {
+	v.snap.Release()
+	v.recs.unref()
+	v.a.liveReaders.Add(-1)
+}
+
 // scan is the shared paging engine: walk idx from the later of start and
 // the query cursor, examine up to budget entries, and collect up to limit
 // records passing the predicates. keep (optional) bounds the key range —
@@ -178,11 +230,9 @@ type locator struct {
 // records-before-indexes ordering it never fires, but it keeps a manually
 // corrupted archive (records file truncated with META gone, leaving stale
 // index entries) from returning records under the wrong key.
-func (a *Archive) scan(idx lsmIndex, start [storage.KeySize]byte,
+func (a *Archive) scan(idx *lsm.DB, start [storage.KeySize]byte,
 	keep func(hi int32) bool, q Query, extra func(hi int32, loc locator) bool,
 	verify func(hi int32, rec storage.LoggedConvoy) bool) (Result, error) {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
 	a.queries.Add(1)
 	// Unsatisfiable predicates answer an empty page immediately. Without
 	// this, a min_size above the codec's convoy-size cap (or a min_dur no
@@ -191,6 +241,11 @@ func (a *Archive) scan(idx lsmIndex, start [storage.KeySize]byte,
 	if q.MinSize > maxConvoySize || q.MinDur > math.MaxInt32 {
 		return Result{}, nil
 	}
+	view, err := a.beginRead(idx)
+	if err != nil {
+		return Result{}, err
+	}
+	defer view.close()
 	if q.Cursor.set && bytes.Compare(q.Cursor.key[:], start[:]) > 0 {
 		start = q.Cursor.key
 	}
@@ -200,19 +255,16 @@ func (a *Archive) scan(idx lsmIndex, start [storage.KeySize]byte,
 		res    Result
 	)
 	// Two phases: the index walk collects up to limit candidate locators
-	// under the LSM mutex (index-only predicates, no I/O beyond the
-	// index's own block reads), then records are materialised after the
-	// walk so the index never stalls behind record preads — a cold-cache
-	// page must not block the archiver's writes for its whole duration.
-	// A record-level reject (the feed filter, a stale entry) can
-	// therefore leave a page shorter than limit; More/cursor still make
-	// paging complete.
+	// (index-only predicates, no I/O beyond the index's own block reads),
+	// then records are materialised in a parallel fan-out. A record-level
+	// reject (the feed filter, a stale entry) can leave a page shorter
+	// than limit; More/cursor still make paging complete.
 	type cand struct {
 		hi  int32
 		loc locator
 	}
 	var cands []cand
-	err := idx.Scan(start, func(k, v []byte) bool {
+	err = view.snap.Scan(start, func(k, v []byte) bool {
 		hi, seq := storage.DecodeKey(k)
 		if keep != nil && !keep(hi) {
 			return false // past the key range: query exhausted
@@ -225,16 +277,17 @@ func (a *Archive) scan(idx lsmIndex, start [storage.KeySize]byte,
 			return false
 		}
 		res.Scanned++
-		if int64(seq) >= a.nextSeq {
-			// A stale entry from before a records-file truncation (only
-			// reachable when META was lost too): nothing to materialise.
-			// It still consumed budget above — a corrupted archive must
-			// not turn a bounded page into an unbounded index walk.
+		if int64(seq) >= view.nextSeq {
+			// An entry this view must not see: archived after capture (the
+			// snapshot's live memtable can surface those), or stale from
+			// before a records-file truncation. Nothing to materialise. It
+			// still consumed budget above — a corrupted archive must not
+			// turn a bounded page into an unbounded index walk.
 			return true
 		}
 		off, size, dur := decodeLocator(v)
-		if off >= a.synced {
-			// An offset past the durable end of the records file: a stale
+		if off >= view.synced {
+			// An offset past the captured end of the records file: a stale
 			// entry whose record a retention rewrite (or a truncation)
 			// removed. Skipped here so a query racing nothing worse than
 			// a corrupted index never reads past the file, let alone
@@ -255,14 +308,39 @@ func (a *Archive) scan(idx lsmIndex, start [storage.KeySize]byte,
 	if err != nil {
 		return Result{}, err
 	}
-	// Materialisation phase: a.mu.RLock (still held) keeps the records
-	// file append-only under us, so every collected offset stays valid.
-	for _, c := range cands {
-		rec, err := storage.ReadConvoyAt(a.recsRead, c.loc.off)
+	// Materialisation phase: fan the record preads across a worker group.
+	// Slot i holds candidate i's record, and the filter pass below walks
+	// the slots in candidate order, so the assembled page is byte-identical
+	// to a sequential materialisation — same records, same order, same
+	// cursor — regardless of read completion order. The pinned view.recs
+	// handle makes every captured offset valid even mid-retention.
+	recs := make([]storage.LoggedConvoy, len(cands))
+	read := make([]bool, len(cands))
+	err = pool.ForEach(pool.Size(0), len(cands), func(i int) error {
+		rec, err := storage.ReadConvoyAt(view.recs.f, cands[i].loc.off)
 		if err != nil {
-			return Result{}, err
+			if view.a.rewriteGen.Load() != view.gen {
+				// A retention rewrite landed mid-page and re-pointed this
+				// entry at its post-rewrite offset, which means nothing in
+				// the pinned pre-rewrite file. Drop the record — the page
+				// raced its deletion/relocation — rather than failing.
+				return nil
+			}
+			return err
 		}
-		a.recordsRead.Add(1)
+		recs[i] = rec
+		read[i] = true
+		return nil
+	})
+	a.recordsRead.Add(int64(len(cands)))
+	if err != nil {
+		return Result{}, err
+	}
+	for i, c := range cands {
+		if !read[i] {
+			continue
+		}
+		rec := recs[i]
 		if !verify(c.hi, rec) ||
 			int32(len(rec.Convoy.Objs)) != c.loc.size ||
 			rec.Convoy.End-rec.Convoy.Start+1 != c.loc.dur {
@@ -274,10 +352,4 @@ func (a *Archive) scan(idx lsmIndex, start [storage.KeySize]byte,
 		res.Records = append(res.Records, rec)
 	}
 	return res, nil
-}
-
-// lsmIndex is the slice of lsm.DB the scanner needs (an interface so tests
-// can fault-inject).
-type lsmIndex interface {
-	Scan(start [storage.KeySize]byte, fn func(key, val []byte) bool) error
 }

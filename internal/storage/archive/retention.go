@@ -165,13 +165,16 @@ func (a *Archive) applyExpireLocked() (int64, error) {
 
 	// The data commit. The append handle was synced by the watermark
 	// flush and no append can race us (a.mu is held), so closing it loses
-	// nothing. Any failure from here on leaves the archive unusable for
-	// this process — Open repairs from the on-disk state.
+	// nothing. The read handle is only unref'd: query pages that captured
+	// their view before this point still hold the pre-rewrite inode pinned
+	// and keep reading it coherently; the fd closes when the last drains.
+	// Any failure from here on leaves the archive unusable for this
+	// process — Open repairs from the on-disk state.
 	if err := a.recs.Close(); err != nil {
 		a.closed = true
 		return 0, err
 	}
-	a.recsRead.Close()
+	a.recsRead.unref()
 	a.recs, a.recsRead = nil, nil
 	if err := os.Rename(tmpPath, recsPath); err != nil {
 		a.closed = true
@@ -186,10 +189,13 @@ func (a *Archive) applyExpireLocked() (int64, error) {
 		a.closed = true
 		return 0, err
 	}
-	if a.recsRead, err = os.Open(recsPath); err != nil {
+	rf, err := os.Open(recsPath)
+	if err != nil {
 		a.closed = true
 		return 0, err
 	}
+	a.recsRead = newReadFile(rf)
+	a.rewriteGen.Add(1)
 	a.live = int64(len(surv))
 	a.synced = newSize
 	a.crc = newCRC
@@ -296,6 +302,6 @@ func (a *Archive) abandon() {
 		a.recs.Close()
 	}
 	if a.recsRead != nil {
-		a.recsRead.Close()
+		a.recsRead.f.Close() // simulated kill: yank the fd, ignore refs
 	}
 }

@@ -95,27 +95,42 @@ func (db *DB) compactOnce(full bool) (bool, error) {
 	if !ok {
 		return false, nil
 	}
+	// pickCompaction ref'd the inputs for the duration of the merge; the
+	// files outlive any concurrent retirement until these drop.
+	release := func() {
+		for _, t := range inputs {
+			t.unref()
+		}
+	}
 
-	// Merge without db.mu: inputs are immutable and only a compaction can
-	// retire them, and compactions are serialised by compactMu.
+	// Merge without db.mu: inputs are immutable, pinned by the refs above,
+	// and compactions are serialised by compactMu.
 	its := make([]kvIterator, len(inputs))
+	mergeEnv := &readEnv{io: &db.stats} // cache-less: one-shot merge reads
 	for i, t := range inputs {
-		its[i] = t.iterator(nil, &db.stats)
+		its[i] = t.iterator(nil, mergeEnv)
 	}
 	if err := writeSSTable(path, newMergeIter(its), dropTombs); err != nil {
+		release()
 		return false, err
 	}
 	crash("compact.output-written")
 	nt, err := openSSTable(path)
 	if err != nil {
 		os.Remove(path)
+		release()
 		return false, err
 	}
 	if err := db.swapCompacted(inputs, nt); err != nil {
 		nt.close()
 		os.Remove(path)
+		release()
 		return false, err
 	}
+	// The list references were dropped by swapCompacted with remove set;
+	// releasing the merge references lets the last holder (a draining
+	// snapshot, or this call) close and unlink the input files.
+	release()
 	return true, nil
 }
 
@@ -151,6 +166,11 @@ func (db *DB) pickCompaction(full bool) (inputs []*sstable, dropTombs bool, path
 		}
 		inputs = append(inputs, db.tables[best:best+w]...)
 		dropTombs = best == 0
+	}
+	// Pin the inputs for the merge: only a holder of the list reference may
+	// clone references, and we hold db.mu here.
+	for _, t := range inputs {
+		t.ref()
 	}
 	name := fmt.Sprintf("sst-%06d.sst", db.seq)
 	db.seq++
@@ -199,9 +219,15 @@ func (db *DB) swapCompacted(inputs []*sstable, nt *sstable) error {
 		nt.close()
 		os.Remove(nt.path)
 	}
+	// Drop the list references; each input file is closed and unlinked by
+	// whichever holder — this compaction's merge ref, or the last snapshot
+	// still reading it — drains last. The new manifest no longer names the
+	// inputs, so a crash before the deferred unlink leaves only orphans
+	// that sweepOrphans removes at next Open. Evict their blocks from the
+	// shared cache eagerly rather than waiting for the clock to cycle.
 	for _, t := range inputs {
-		t.close()
-		os.Remove(t.path)
+		db.cache.dropTable(t.id)
+		t.retire(true)
 	}
 	return nil
 }

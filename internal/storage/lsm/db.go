@@ -36,6 +36,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 	"repro/internal/storage"
@@ -51,10 +52,12 @@ type Options struct {
 	MaxTables int
 	// SyncWAL forces an fsync per batch when true.
 	SyncWAL bool
+	// BlockCacheBytes bounds the shared data-block cache (default 4 MiB).
+	BlockCacheBytes int
 }
 
 func (o *Options) withDefaults() Options {
-	out := Options{MemtableBytes: 4 << 20, MaxTables: 6}
+	out := Options{MemtableBytes: 4 << 20, MaxTables: 6, BlockCacheBytes: 4 << 20}
 	if o != nil {
 		if o.MemtableBytes > 0 {
 			out.MemtableBytes = o.MemtableBytes
@@ -62,25 +65,44 @@ func (o *Options) withDefaults() Options {
 		if o.MaxTables > 0 {
 			out.MaxTables = o.MaxTables
 		}
+		if o.BlockCacheBytes > 0 {
+			out.BlockCacheBytes = o.BlockCacheBytes
+		}
 		out.SyncWAL = o.SyncWAL
 	}
 	return out
 }
 
 // DB is the LSM-tree database. It implements storage.Store.
+//
+// Locking: mu is a read/write lock, but reads hold it only for snapshot
+// acquisition — a pointer copy of the COW table list plus a refcount bump
+// per table (snapshot.go). All read I/O (bloom probes, block reads, merge
+// scans) happens outside the lock, so a slow query page no longer stalls
+// ingest, other queries, or the compactor's swap. Writers (PutKV, flush,
+// compaction swap, Close) take the write lock and publish new state by
+// replacing db.tables/db.mem, never mutating the slices a snapshot may
+// hold.
 type DB struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	dir     string
 	opts    Options
 	wal     *wal
 	walName string
 	mem     *memtable
-	tables  []*sstable // oldest first; later tables shadow earlier ones
+	tables  []*sstable // oldest first; later tables shadow earlier ones; COW
 	seq     int
 	ts, te  int32
 	count   uint64
 	stats   storage.IOStats
 	closed  bool
+
+	// Shared lock-free read-path state: the sharded block cache, its
+	// counter sinks, and the live-snapshot gauge.
+	cache         *blockCache
+	rstats        readStats
+	env           readEnv
+	liveSnapshots atomic.Int64
 
 	// compactMu serialises compactions (background loop and manual
 	// Compact); it is always acquired before db.mu, never inside it.
@@ -108,6 +130,8 @@ func Open(dir string, opts *Options) (*DB, error) {
 		return nil, fmt.Errorf("lsm: mkdir: %w", err)
 	}
 	db := &DB{dir: dir, opts: opts.withDefaults(), mem: newMemtable(1), ts: 0, te: -1}
+	db.cache = newBlockCache(db.opts.BlockCacheBytes)
+	db.env = readEnv{cache: db.cache, io: &db.stats, rs: &db.rstats}
 	oldWAL, err := db.loadManifest()
 	if err != nil {
 		return nil, err
@@ -370,43 +394,29 @@ func (db *DB) Get(t, oid int32) ([]byte, error) {
 	return db.GetKV(key)
 }
 
-// GetKV returns the value bytes for key, or nil if absent or deleted.
+// GetKV returns the value bytes for key, or nil if absent or deleted. The
+// read runs against a snapshot: no lock is held during I/O.
 func (db *DB) GetKV(key [storage.KeySize]byte) ([]byte, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if v, tomb, ok := db.mem.get(key[:]); ok {
-		if tomb {
-			return nil, nil
-		}
-		return v, nil
+	s, err := db.AcquireSnapshot()
+	if err != nil {
+		return nil, err
 	}
-	for i := len(db.tables) - 1; i >= 0; i-- {
-		v, tomb, err := db.tables[i].get(key[:], &db.stats)
-		if err != nil {
-			return nil, err
-		}
-		if tomb {
-			return nil, nil
-		}
-		if v != nil {
-			return v, nil
-		}
-	}
-	return nil, nil
+	defer s.Release()
+	return s.GetKV(key)
 }
 
 // TimeRange implements storage.Store.
 func (db *DB) TimeRange() (int32, int32) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.ts, db.te
 }
 
 // Count returns the number of inserted points (before dedup by key, net of
 // tombstones already folded into runs).
 func (db *DB) Count() uint64 {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.count
 }
 
@@ -414,34 +424,28 @@ func (db *DB) Count() uint64 {
 func (db *DB) Stats() *storage.IOStats { return &db.stats }
 
 // Snapshot implements storage.Store: one merged range scan across runs over
-// the key prefix of timestamp t.
+// the key prefix of timestamp t, against a pinned snapshot (lock-free I/O).
 func (db *DB) Snapshot(t int32) ([]model.ObjPos, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.te < db.ts || t < db.ts || t > db.te {
+	s, err := db.AcquireSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	defer s.Release()
+	if s.te < s.ts || t < s.ts || t > s.te {
 		return nil, nil
 	}
 	start := storage.EncodeKey(t, -1<<31)
-	its := make([]kvIterator, 0, len(db.tables)+1)
-	for _, tab := range db.tables {
-		its = append(its, tab.iterator(start[:], &db.stats))
-	}
-	its = append(its, db.mem.iterator(start[:]))
-	merged := newMergeIter(its)
 	var out []model.ObjPos
-	for ; merged.valid(); merged.next() {
-		kt, oid := storage.DecodeKey(merged.key())
+	err = s.Scan(start, func(k, v []byte) bool {
+		kt, oid := storage.DecodeKey(k)
 		if kt != t {
-			break
+			return false
 		}
-		db.stats.AddScanned(1)
-		if merged.tomb() {
-			continue
-		}
-		x, y := storage.DecodeValue(merged.value())
+		x, y := storage.DecodeValue(v)
 		out = append(out, model.ObjPos{OID: oid, X: x, Y: y})
-	}
-	if err := merged.err(); err != nil {
+		return true
+	})
+	if err != nil {
 		return nil, err
 	}
 	db.stats.AddScan(len(out))
@@ -452,38 +456,33 @@ func (db *DB) Snapshot(t int32) ([]model.ObjPos, error) {
 // order, merged across the memtable and every on-disk run (newest version
 // of a key wins; keys whose newest version is a tombstone are skipped),
 // until fn returns false or the keyspace is exhausted. The key and value
-// slices passed to fn are only valid during the call. The database mutex is
-// held for the whole scan — callers bound the walk (the archive's query
-// budget) and fn must not call back into the DB.
+// slices passed to fn are only valid during the call. The scan runs against
+// a snapshot with no lock held, so fn may block or call back into the DB;
+// callers still bound the walk (the archive's query budget). Callers that
+// page repeatedly should AcquireSnapshot once and scan it directly.
 func (db *DB) Scan(start [storage.KeySize]byte, fn func(key, val []byte) bool) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	its := make([]kvIterator, 0, len(db.tables)+1)
-	for _, tab := range db.tables {
-		its = append(its, tab.iterator(start[:], &db.stats))
+	s, err := db.AcquireSnapshot()
+	if err != nil {
+		return err
 	}
-	its = append(its, db.mem.iterator(start[:]))
-	merged := newMergeIter(its)
-	for ; merged.valid(); merged.next() {
-		db.stats.AddScanned(1)
-		if merged.tomb() {
-			continue
-		}
-		if !fn(merged.key(), merged.value()) {
-			break
-		}
-	}
-	return merged.err()
+	defer s.Release()
+	return s.Scan(start, fn)
 }
 
-// Fetch implements storage.Store: bloom-guarded point gets.
+// Fetch implements storage.Store: bloom-guarded point gets, all against one
+// snapshot.
 func (db *DB) Fetch(t int32, oids model.ObjSet) ([]model.ObjPos, error) {
 	if len(oids) == 0 {
 		return nil, nil
 	}
+	s, err := db.AcquireSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	defer s.Release()
 	out := make([]model.ObjPos, 0, len(oids))
 	for _, oid := range oids {
-		v, err := db.Get(t, oid)
+		v, err := s.GetKV(storage.EncodeKey(t, oid))
 		if err != nil {
 			return nil, err
 		}
@@ -522,11 +521,13 @@ func (db *DB) Close() error {
 	if err := db.wal.close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
+	// Drop the table-list references. Files close when the last snapshot
+	// drains (immediately, when none are live) and stay on disk — the
+	// manifest still names them for the next Open.
 	for _, t := range db.tables {
-		if err := t.close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		t.retire(false)
 	}
+	db.tables = nil
 	return firstErr
 }
 

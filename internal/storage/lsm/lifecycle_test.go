@@ -17,14 +17,14 @@ func TestOptionsWithDefaults(t *testing.T) {
 		in   *Options
 		want Options
 	}{
-		{"nil", nil, Options{MemtableBytes: 4 << 20, MaxTables: 6}},
-		{"zero", &Options{}, Options{MemtableBytes: 4 << 20, MaxTables: 6}},
-		{"negative", &Options{MemtableBytes: -1, MaxTables: -3}, Options{MemtableBytes: 4 << 20, MaxTables: 6}},
+		{"nil", nil, Options{MemtableBytes: 4 << 20, MaxTables: 6, BlockCacheBytes: 4 << 20}},
+		{"zero", &Options{}, Options{MemtableBytes: 4 << 20, MaxTables: 6, BlockCacheBytes: 4 << 20}},
+		{"negative", &Options{MemtableBytes: -1, MaxTables: -3, BlockCacheBytes: -7}, Options{MemtableBytes: 4 << 20, MaxTables: 6, BlockCacheBytes: 4 << 20}},
 		// MaxTables 1 is the documented floor ("always compact to a single
 		// run"); it used to be silently replaced by the default 6.
-		{"max-tables-one", &Options{MaxTables: 1}, Options{MemtableBytes: 4 << 20, MaxTables: 1}},
-		{"max-tables-two", &Options{MaxTables: 2}, Options{MemtableBytes: 4 << 20, MaxTables: 2}},
-		{"explicit", &Options{MemtableBytes: 512, MaxTables: 9, SyncWAL: true}, Options{MemtableBytes: 512, MaxTables: 9, SyncWAL: true}},
+		{"max-tables-one", &Options{MaxTables: 1}, Options{MemtableBytes: 4 << 20, MaxTables: 1, BlockCacheBytes: 4 << 20}},
+		{"max-tables-two", &Options{MaxTables: 2}, Options{MemtableBytes: 4 << 20, MaxTables: 2, BlockCacheBytes: 4 << 20}},
+		{"explicit", &Options{MemtableBytes: 512, MaxTables: 9, SyncWAL: true, BlockCacheBytes: 1 << 20}, Options{MemtableBytes: 512, MaxTables: 9, SyncWAL: true, BlockCacheBytes: 1 << 20}},
 	}
 	for _, tc := range cases {
 		if got := tc.in.withDefaults(); got != tc.want {

@@ -3,31 +3,52 @@ package lsm
 import (
 	"bytes"
 	"math/rand"
+	"sync/atomic"
 )
 
 // memtable is an in-memory ordered map from keys to values implemented as a
-// skiplist, the standard LSM write buffer. Single-writer, multi-reader use
-// is coordinated by the owning DB's mutex. An entry may be a tombstone — a
-// deletion marker that shadows any older on-disk version of the key until
-// compaction garbage-collects both.
+// skiplist, the standard LSM write buffer. Concurrency contract: exactly one
+// writer at a time (the owning DB's write lock serialises put), while any
+// number of readers traverse concurrently WITHOUT the lock — snapshot reads
+// (snapshot.go) walk the live memtable while PutKV keeps inserting. All
+// cross-goroutine state (forward pointers, the per-node entry, the list
+// level) is therefore atomic: a reader observes each pointer either before
+// or after a store, and both states are valid lists. An entry may be a
+// tombstone — a deletion marker that shadows any older on-disk version of
+// the key until compaction garbage-collects both.
+//
+// Once the DB rotates the memtable out (flush), nothing writes it again;
+// snapshots that captured it keep reading the now-frozen list.
 type memtable struct {
-	head   *skipNode
-	rng    *rand.Rand
-	level  int
+	head  *skipNode
+	rng   *rand.Rand
+	level atomic.Int32
+	// n and byteSz are writer-only (read under the DB's write lock or
+	// before the memtable is shared).
 	n      int
 	byteSz int
 }
 
 const maxLevel = 16
 
+// memEntry is a node's current value. Overwrites swap the whole entry
+// atomically, so a reader never sees a value from one write paired with a
+// tombstone flag from another.
+type memEntry struct {
+	val  []byte
+	tomb bool
+}
+
 type skipNode struct {
-	key, val []byte
-	tomb     bool
-	next     [maxLevel]*skipNode
+	key   []byte
+	entry atomic.Pointer[memEntry]
+	next  [maxLevel]atomic.Pointer[skipNode]
 }
 
 func newMemtable(seed int64) *memtable {
-	return &memtable{head: &skipNode{}, rng: rand.New(rand.NewSource(seed)), level: 1}
+	m := &memtable{head: &skipNode{}, rng: rand.New(rand.NewSource(seed))}
+	m.level.Store(1)
+	return m
 }
 
 func (m *memtable) randomLevel() int {
@@ -39,36 +60,42 @@ func (m *memtable) randomLevel() int {
 }
 
 // put inserts or overwrites key → val. Both slices are copied. A tombstone
-// entry (tomb true, val ignored) records a deletion.
+// entry (tomb true, val ignored) records a deletion. Single writer only;
+// concurrent readers are safe.
 func (m *memtable) put(key, val []byte, tomb bool) {
 	if tomb {
 		val = nil
 	}
 	var update [maxLevel]*skipNode
 	x := m.head
-	for i := m.level - 1; i >= 0; i-- {
-		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
-			x = x.next[i]
+	level := int(m.level.Load())
+	for i := level - 1; i >= 0; i-- {
+		for nxt := x.next[i].Load(); nxt != nil && bytes.Compare(nxt.key, key) < 0; nxt = x.next[i].Load() {
+			x = nxt
 		}
 		update[i] = x
 	}
-	if nxt := x.next[0]; nxt != nil && bytes.Equal(nxt.key, key) {
-		m.byteSz += len(val) - len(nxt.val)
-		nxt.val = append([]byte(nil), val...)
-		nxt.tomb = tomb
+	if nxt := x.next[0].Load(); nxt != nil && bytes.Equal(nxt.key, key) {
+		old := nxt.entry.Load()
+		m.byteSz += len(val) - len(old.val)
+		nxt.entry.Store(&memEntry{val: append([]byte(nil), val...), tomb: tomb})
 		return
 	}
 	lvl := m.randomLevel()
-	if lvl > m.level {
-		for i := m.level; i < lvl; i++ {
+	if lvl > level {
+		for i := level; i < lvl; i++ {
 			update[i] = m.head
 		}
-		m.level = lvl
+		m.level.Store(int32(lvl))
 	}
-	node := &skipNode{key: append([]byte(nil), key...), val: append([]byte(nil), val...), tomb: tomb}
+	node := &skipNode{key: append([]byte(nil), key...)}
+	node.entry.Store(&memEntry{val: append([]byte(nil), val...), tomb: tomb})
+	// Link bottom-up: the node is fully initialised (key, entry, next
+	// pointers at level i) before the store that publishes it at level i,
+	// so a reader that finds it through any level sees a complete node.
 	for i := 0; i < lvl; i++ {
-		node.next[i] = update[i].next[i]
-		update[i].next[i] = node
+		node.next[i].Store(update[i].next[i].Load())
+		update[i].next[i].Store(node)
 	}
 	m.n++
 	m.byteSz += len(key) + len(val) + 32
@@ -76,41 +103,64 @@ func (m *memtable) put(key, val []byte, tomb bool) {
 
 // get returns the entry for key: ok reports whether the memtable holds any
 // version of the key, and tomb whether that version is a deletion marker.
+// Safe to call concurrently with one writer.
 func (m *memtable) get(key []byte) (val []byte, tomb, ok bool) {
 	x := m.head
-	for i := m.level - 1; i >= 0; i-- {
-		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
-			x = x.next[i]
+	for i := int(m.level.Load()) - 1; i >= 0; i-- {
+		for nxt := x.next[i].Load(); nxt != nil && bytes.Compare(nxt.key, key) < 0; nxt = x.next[i].Load() {
+			x = nxt
 		}
 	}
-	if nxt := x.next[0]; nxt != nil && bytes.Equal(nxt.key, key) {
-		return nxt.val, nxt.tomb, true
+	if nxt := x.next[0].Load(); nxt != nil && bytes.Equal(nxt.key, key) {
+		e := nxt.entry.Load()
+		return e.val, e.tomb, true
 	}
 	return nil, false, false
 }
 
-// len returns the number of entries (tombstones included).
+// len returns the number of entries (tombstones included). Writer-only.
 func (m *memtable) len() int { return m.n }
 
 // bytes returns the approximate heap footprint, used for flush triggering.
+// Writer-only.
 func (m *memtable) bytes() int { return m.byteSz }
 
-// iterator returns a memIter positioned at the first key ≥ start.
+// iterator returns a memIter positioned at the first key ≥ start. Safe to
+// call concurrently with one writer; keys inserted behind the iterator's
+// position after this call are not visited, keys ahead may be.
 func (m *memtable) iterator(start []byte) *memIter {
 	x := m.head
-	for i := m.level - 1; i >= 0; i-- {
-		for x.next[i] != nil && bytes.Compare(x.next[i].key, start) < 0 {
-			x = x.next[i]
+	for i := int(m.level.Load()) - 1; i >= 0; i-- {
+		for nxt := x.next[i].Load(); nxt != nil && bytes.Compare(nxt.key, start) < 0; nxt = x.next[i].Load() {
+			x = nxt
 		}
 	}
-	return &memIter{node: x.next[0]}
+	it := &memIter{node: x.next[0].Load()}
+	it.loadEntry()
+	return it
 }
 
-// memIter walks the skiplist in key order, tombstones included.
-type memIter struct{ node *skipNode }
+// memIter walks the skiplist in key order, tombstones included. The entry
+// is captured once per position so value() and tomb() — called separately
+// by the merge iterator — always describe the same write.
+type memIter struct {
+	node *skipNode
+	ent  *memEntry
+}
+
+func (it *memIter) loadEntry() {
+	if it.node != nil {
+		it.ent = it.node.entry.Load()
+	} else {
+		it.ent = nil
+	}
+}
 
 func (it *memIter) valid() bool   { return it.node != nil }
 func (it *memIter) key() []byte   { return it.node.key }
-func (it *memIter) value() []byte { return it.node.val }
-func (it *memIter) tomb() bool    { return it.node.tomb }
-func (it *memIter) next()         { it.node = it.node.next[0] }
+func (it *memIter) value() []byte { return it.ent.val }
+func (it *memIter) tomb() bool    { return it.ent.tomb }
+func (it *memIter) next() {
+	it.node = it.node.next[0].Load()
+	it.loadEntry()
+}

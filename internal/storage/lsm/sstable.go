@@ -45,7 +45,14 @@ type blockMeta struct {
 	count    uint32
 }
 
-// sstable is an immutable on-disk run of sorted records.
+// sstable is an immutable on-disk run of sorted records. Its lifetime is
+// refcounted: the DB's table list holds one reference, and every snapshot
+// acquired while the table is listed holds another (snapshot.go). When the
+// list owner retires the table (compaction swapped it out, or Close), the
+// file is closed — and unlinked, if requested — only after the LAST
+// reference drains, so a reader mid-scan never has its file yanked away. A
+// crash between retire and the deferred unlink leaves an orphan file; the
+// manifest does not reference it, and sweepOrphans removes it at next Open.
 type sstable struct {
 	f      *os.File
 	path   string
@@ -56,21 +63,26 @@ type sstable struct {
 	// recSize is the on-disk record width: 25 for current tables (meta
 	// byte), 24 for legacy tables without tombstone support.
 	recSize int
+	// id is unique across every table opened by this process; it keys the
+	// shared block cache so a retired table's blocks can never alias a
+	// successor's.
+	id uint64
+	// refs counts owners: 1 for the DB's table list plus 1 per live
+	// snapshot. The holder that drops it to 0 closes (and maybe unlinks)
+	// the file.
+	refs atomic.Int32
+	// removeOnRelease asks the final unref to also unlink the file. Written
+	// by the list owner before it drops the list reference; the atomic
+	// decrement in unref orders that write before the final holder reads it.
+	removeOnRelease bool
 	// reads counts physical block reads for I/O accounting. Atomic: the
-	// background compactor reads input tables without holding the DB mutex
-	// while foreground readers (who do hold it) touch the same tables.
+	// background compactor reads input tables without holding any DB lock
+	// while snapshot readers touch the same tables.
 	reads atomic.Int64
-	// cache holds recently read data blocks (clock eviction). Point-query
-	// workloads like HWMT hit the same blocks repeatedly; without a cache
-	// every get would pay a 4 KiB pread. Guarded by the owning DB's mutex
-	// (the compactor's iterators bypass it).
-	cache map[int][]byte
-	clock []int
-	hand  int
 }
 
-// blockCacheCap bounds the per-table block cache (≈1 MiB of 4 KiB blocks).
-const blockCacheCap = 256
+// nextTableID issues process-unique sstable ids for block-cache keying.
+var nextTableID atomic.Uint64
 
 // writeSSTable streams sorted (key, val, tomb) records from it into a new
 // table file at path, always in the current (tombstone-capable) format.
@@ -207,7 +219,8 @@ func openSSTable(path string) (*sstable, error) {
 		f.Close()
 		return nil, errors.New("lsm: sstable too small")
 	}
-	t := &sstable{f: f, path: path, recSize: recSizeV2}
+	t := &sstable{f: f, path: path, recSize: recSizeV2, id: nextTableID.Add(1)}
+	t.refs.Store(1)
 	var footer [footerSize]byte
 	var indexOff, bloomOff uint64
 	var numBlocks, bloomLen int
@@ -271,6 +284,33 @@ func readMagic(f *os.File, off int64) string {
 
 func (t *sstable) close() error { return t.f.Close() }
 
+// ref takes an additional reference. Only a holder that already owns one
+// (the DB's table list, under its lock) may hand out new references, so
+// refs can never revive from zero.
+func (t *sstable) ref() { t.refs.Add(1) }
+
+// unref drops one reference; the holder that reaches zero closes the file
+// and, when the table was retired with remove, unlinks it.
+func (t *sstable) unref() {
+	if t.refs.Add(-1) != 0 {
+		return
+	}
+	t.f.Close()
+	if t.removeOnRelease {
+		os.Remove(t.path)
+	}
+}
+
+// retire drops the table-list reference, the one reference holders can
+// clone. Caller must be the list owner (DB write lock held when delisting).
+// With remove set the file is unlinked once the last snapshot drains —
+// compaction inputs and retention victims; without it the file merely
+// closes and stays on disk for the next Open — DB shutdown.
+func (t *sstable) retire(remove bool) {
+	t.removeOnRelease = remove
+	t.unref()
+}
+
 // hasMeta reports whether records carry the trailing meta byte.
 func (t *sstable) hasMeta() bool { return t.recSize == recSizeV2 }
 
@@ -297,48 +337,51 @@ func (t *sstable) readBlock(bi int, buf []byte) ([]byte, error) {
 	return buf, nil
 }
 
-// cachedBlock returns block bi through the table's block cache, reporting
-// whether a physical read happened.
-func (t *sstable) cachedBlock(bi int) (block []byte, phys bool, err error) {
-	if t.cache == nil {
-		t.cache = make(map[int][]byte, blockCacheCap)
+// cachedBlock returns block bi through the shared block cache (when env
+// carries one), reporting whether a physical read happened. Cached blocks
+// are shared between goroutines and must be treated as read-only.
+func (t *sstable) cachedBlock(bi int, env *readEnv) (block []byte, phys bool, err error) {
+	if env == nil || env.cache == nil {
+		b, err := t.readBlock(bi, nil)
+		return b, err == nil, err
 	}
-	if b, ok := t.cache[bi]; ok {
+	k := cacheKey{table: t.id, block: bi}
+	if b, ok := env.cache.get(k); ok {
 		return b, false, nil
 	}
 	b, err := t.readBlock(bi, nil)
 	if err != nil {
 		return nil, false, err
 	}
-	if len(t.clock) < blockCacheCap {
-		t.clock = append(t.clock, bi)
-	} else {
-		delete(t.cache, t.clock[t.hand])
-		t.clock[t.hand] = bi
-		t.hand = (t.hand + 1) % blockCacheCap
-	}
-	t.cache[bi] = b
+	env.cache.put(k, b)
 	return b, true, nil
 }
 
 // get returns the entry for key in this table: val is nil when the key is
 // absent, and tomb is set when the newest version here is a tombstone (the
-// caller must stop searching older runs).
-func (t *sstable) get(key []byte, stats *storage.IOStats) (val []byte, tomb bool, err error) {
+// caller must stop searching older runs). Safe for concurrent use: all I/O
+// is pread, the cache shards its own locking, and counters are atomic.
+func (t *sstable) get(key []byte, env *readEnv) (val []byte, tomb bool, err error) {
 	if !t.filter.mayContain(key) {
+		if env != nil && env.rs != nil {
+			env.rs.bloomHits.Add(1)
+		}
 		return nil, false, nil
+	}
+	if env != nil && env.rs != nil {
+		env.rs.bloomMisses.Add(1)
 	}
 	bi := t.blockFor(key)
 	if bi < 0 {
 		return nil, false, nil
 	}
-	block, phys, err := t.cachedBlock(bi)
+	block, phys, err := t.cachedBlock(bi, env)
 	if err != nil {
 		return nil, false, err
 	}
-	if stats != nil && phys {
-		stats.AddSeeks(1)
-		stats.AddBytes(len(block))
+	if env != nil && env.io != nil && phys {
+		env.io.AddSeeks(1)
+		env.io.AddBytes(len(block))
 	}
 	rs := t.recSize
 	n := int(t.index[bi].count)
@@ -363,9 +406,13 @@ func (t *sstable) get(key []byte, stats *storage.IOStats) (val []byte, tomb bool
 	return nil, false, nil
 }
 
-// iterator returns an sstIter positioned at the first key ≥ start.
-func (t *sstable) iterator(start []byte, stats *storage.IOStats) *sstIter {
-	it := &sstIter{t: t, stats: stats}
+// iterator returns an sstIter positioned at the first key ≥ start. With an
+// env carrying a cache, block loads go through the shared block cache —
+// query pages re-walk the same index ranges constantly, so their blocks
+// stay hot; pass a cache-less env (or nil) for one-shot sequential reads
+// like compaction merges, which keep the private-buffer fast path.
+func (t *sstable) iterator(start []byte, env *readEnv) *sstIter {
+	it := &sstIter{t: t, env: env}
 	bi := t.blockFor(start)
 	if bi < 0 {
 		bi = 0
@@ -392,13 +439,17 @@ func (t *sstable) iterator(start []byte, stats *storage.IOStats) *sstIter {
 	return it
 }
 
-// sstIter iterates one sstable in key order, tombstones included.
+// sstIter iterates one sstable in key order, tombstones included. When its
+// env carries a cache the current block may be shared with other readers —
+// the iterator only ever reads it. Without a cache it owns a private buffer
+// reused across blocks.
 type sstIter struct {
 	t     *sstable
-	stats *storage.IOStats
+	env   *readEnv
 	bi    int
 	i     int
 	block []byte
+	buf   []byte // private reuse buffer for the uncached path
 	err   error
 }
 
@@ -407,13 +458,26 @@ func (it *sstIter) loadBlock() error {
 		it.block = nil
 		return nil
 	}
-	b, err := it.t.readBlock(it.bi, it.block)
+	if it.env == nil || it.env.cache == nil {
+		b, err := it.t.readBlock(it.bi, it.buf)
+		if err != nil {
+			return err
+		}
+		it.buf = b
+		it.block = b
+		if it.env != nil && it.env.io != nil {
+			it.env.io.AddSeeks(1)
+			it.env.io.AddBytes(len(b))
+		}
+		return nil
+	}
+	b, phys, err := it.t.cachedBlock(it.bi, it.env)
 	if err != nil {
 		return err
 	}
-	if it.stats != nil {
-		it.stats.AddSeeks(1)
-		it.stats.AddBytes(len(b))
+	if phys && it.env.io != nil {
+		it.env.io.AddSeeks(1)
+		it.env.io.AddBytes(len(b))
 	}
 	it.block = b
 	return nil

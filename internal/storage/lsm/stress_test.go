@@ -71,7 +71,7 @@ func TestBlockCacheCoherent(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db.Close()
-	const n = 200000 // ≫ blockCacheCap blocks worth of records
+	const n = 200000 // ≫ the default BlockCacheBytes worth of records
 	for i := 0; i < n; i++ {
 		if err := db.Put(model.Point{T: int32(i / 256), OID: int32(i % 256), X: float64(i)}); err != nil {
 			t.Fatal(err)

@@ -14,10 +14,10 @@
 //
 // Input (and -baseline) files may also be JSON: a benchjson File passes
 // through unchanged, and a cmd/loadgen artifact (detected by its "loadgen"
-// key) is converted into pseudo-benchmarks — the ingest and close-lag
-// latency quantiles as loadgen.Ingest/pNN and loadgen.CloseLag/pNN — so
-// LOAD_N.json artifacts ride the same markdown/baseline machinery as
-// BENCH_N.json:
+// key) is converted into pseudo-benchmarks — the ingest, close-lag and
+// query latency quantiles as loadgen.Ingest/pNN, loadgen.CloseLag/pNN and
+// loadgen.Query/pNN — so LOAD_N.json artifacts ride the same
+// markdown/baseline machinery as BENCH_N.json:
 //
 //	go run ./cmd/loadgen -o LOAD_6.json
 //	benchjson -md -baseline LOAD_5.json LOAD_6.json
@@ -154,6 +154,7 @@ type loadgenDoc struct {
 	Loadgen *struct {
 		Ingest   loadQuantiles `json:"ingest_ns"`
 		CloseLag loadQuantiles `json:"close_lag_ns"`
+		Query    loadQuantiles `json:"query_ns"`
 	} `json:"loadgen"`
 }
 
@@ -193,6 +194,7 @@ func parseJSONDoc(data []byte) (File, error) {
 	}
 	add("Ingest", doc.Loadgen.Ingest)
 	add("CloseLag", doc.Loadgen.CloseLag)
+	add("Query", doc.Loadgen.Query)
 	sort.Slice(f.Benchmarks, func(a, b int) bool { return f.Benchmarks[a].Name < f.Benchmarks[b].Name })
 	return f, nil
 }
